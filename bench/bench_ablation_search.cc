@@ -1,0 +1,79 @@
+// Ablation study of the CAPS search's design choices (beyond the paper's Table 2):
+//
+//   - duplicate elimination (§4.3): exact worker-symmetry breaking vs naive enumeration
+//   - operator reordering (§4.4.2): resource-ranked outer layers vs graph order
+//   - value ordering (this implementation): balanced-first inner-search counts vs ascending
+//
+// For each combination we report the tree size for a full enumeration under a moderate
+// threshold, and the time/nodes until the first satisfying plan — the quantity that matters
+// for online reconfiguration.
+#include <cstdio>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/search.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+
+namespace capsys {
+namespace {
+
+int Main() {
+  QuerySpec q = BuildQ3Inf();
+  Cluster cluster(6, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+
+  std::printf("=== Search ablation: Q3-inf on 6 workers x 4 slots ===\n\n");
+  std::printf("--- full enumeration under alpha = (0.5, 0.5, 0.8) ---\n");
+  std::printf("%-8s %-10s %-8s %-12s %-12s %-12s\n", "dedup", "reorder", "value", "leaves",
+              "nodes", "time (ms)");
+  for (bool dedup : {true, false}) {
+    for (bool reorder : {true, false}) {
+      for (bool value : {true, false}) {
+        SearchOptions options;
+        options.alpha = ResourceVector{0.5, 0.5, 0.8};
+        options.eliminate_duplicates = dedup;
+        options.reorder = reorder;
+        options.value_ordering = value;
+        options.timeout_s = 30.0;
+        SearchResult r = CapsSearch(model, options).Run();
+        std::printf("%-8s %-10s %-8s %-12llu %-12llu %-12.2f%s\n", dedup ? "on" : "off",
+                    reorder ? "on" : "off", value ? "on" : "off",
+                    static_cast<unsigned long long>(r.stats.leaves),
+                    static_cast<unsigned long long>(r.stats.nodes), r.stats.elapsed_s * 1e3,
+                    r.stats.timed_out ? " (timeout)" : "");
+      }
+    }
+  }
+
+  std::printf("\n--- find-first under tight auto-tuned-grade thresholds (0.3, 0.3, 0.5) ---\n");
+  std::printf("%-8s %-10s %-8s %-8s %-12s %-12s\n", "dedup", "reorder", "value", "found",
+              "nodes", "time (ms)");
+  for (bool dedup : {true, false}) {
+    for (bool reorder : {true, false}) {
+      for (bool value : {true, false}) {
+        SearchOptions options;
+        options.alpha = ResourceVector{0.3, 0.3, 0.5};
+        options.find_first = true;
+        options.eliminate_duplicates = dedup;
+        options.reorder = reorder;
+        options.value_ordering = value;
+        options.timeout_s = 10.0;
+        SearchResult r = CapsSearch(model, options).Run();
+        std::printf("%-8s %-10s %-8s %-8s %-12llu %-12.2f\n", dedup ? "on" : "off",
+                    reorder ? "on" : "off", value ? "on" : "off", r.found ? "yes" : "NO",
+                    static_cast<unsigned long long>(r.stats.nodes), r.stats.elapsed_s * 1e3);
+      }
+    }
+  }
+  std::printf("\nexpected: duplicate elimination shrinks the enumeration by the worker\n"
+              "symmetry factor; reordering prunes near the root; value ordering cuts the\n"
+              "nodes-to-first-plan when thresholds are tight.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capsys
+
+int main() { return capsys::Main(); }

@@ -1,0 +1,44 @@
+// Robustness extension bench: worker-failure recovery. A worker dies mid-run; after a
+// heartbeat timeout the controller re-places the query on the surviving workers using the
+// same reconfiguration path as auto-scaling. Compares placement policies on post-recovery
+// throughput: a contention-aware re-placement absorbs the lost worker's tasks without
+// creating hotspots, while the baselines frequently stack them.
+#include <cstdio>
+
+#include "src/common/str.h"
+#include "src/controller/failure_experiments.h"
+#include "src/nexmark/queries.h"
+
+namespace capsys {
+namespace {
+
+int Main() {
+  // 6 workers so the survivors can absorb the victim's tasks.
+  Cluster cluster(6, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+
+  std::printf("=== Failure recovery: Q1-sliding on %s, worker killed at t=120s ===\n\n",
+              cluster.ToString().c_str());
+  std::printf("%-10s %-8s %-12s %-12s %-12s %-14s\n", "policy", "victim", "before",
+              "during-fail", "after", "recovery (s)");
+  for (PlacementPolicy policy : {PlacementPolicy::kCaps, PlacementPolicy::kFlinkDefault,
+                                 PlacementPolicy::kFlinkEvenly}) {
+    FailureExperimentOptions options;
+    options.policy = policy;
+    options.seed = 5;
+    FailureRun run = RunFailureRecoveryExperiment(q, cluster, options);
+    std::printf("%-10s w%-7d %-12.0f %-12.0f %-12.0f %s\n", PolicyName(policy), run.victim,
+                run.throughput_before, run.throughput_during, run.throughput_after,
+                run.recovered ? Sprintf("%.1f", run.recovery_time_s).c_str()
+                              : "not recovered");
+  }
+  std::printf("\nexpected: all policies lose throughput while the worker is down; the\n"
+              "contention-aware re-placement restores the target, while baselines may\n"
+              "stack the victim's stateful tasks and stay degraded.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capsys
+
+int main() { return capsys::Main(); }

@@ -1,0 +1,143 @@
+// Reproduces Figure 3 (paper §3.3): effect of co-locating resource-intensive tasks.
+//
+//   (a) compute: Q3-inf, co-location degree of the *inference* operator's tasks
+//   (b) disk I/O: Q2-join, co-location degree of the *tumbling window join* tasks
+//   (c) network: Q3-inf with worker NICs capped at 1 Gbps, co-location of traffic-heavy
+//       (decode) tasks
+//
+// For each experiment we select 9 plans — 3 with the lowest achievable co-location degree
+// (P1-P3), 3 at an intermediate degree (P4-P6), and 3 at the highest degree (P7-P9) — and
+// report throughput and source backpressure per group.
+//
+// Paper reference points: (b) low ~110k rec/s at <=4% bp vs high ~91k rec/s at 32% bp;
+// (c) low 1555 rec/s at 12% bp vs high 1185 rec/s at 37% bp; (a) low contention
+// consistently beats high contention.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/search.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+#include "src/simulator/fluid_simulator.h"
+
+namespace capsys {
+namespace {
+
+struct GroupResult {
+  const char* label;
+  double throughput = 0.0;
+  double backpressure = 0.0;
+  int degree = 0;
+};
+
+void RunExperiment(const char* title, const QuerySpec& q, const Cluster& cluster,
+                   OperatorId focus_op, const char* paper_note) {
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  auto plans = EnumerateAllPlans(model);
+
+  // Bucket plans by the focus operator's co-location degree.
+  std::vector<std::pair<int, size_t>> by_degree;  // (degree, plan index)
+  for (size_t i = 0; i < plans.size(); ++i) {
+    by_degree.emplace_back(plans[i].placement.ColocationDegree(graph, cluster, focus_op), i);
+  }
+  std::sort(by_degree.begin(), by_degree.end());
+  int lo_degree = by_degree.front().first;
+  int hi_degree = by_degree.back().first;
+  int mid_degree = (lo_degree + hi_degree) / 2;
+
+  // The paper manually selects plans that vary ONLY the focus operator's contention. We
+  // emulate this: among the plans at a given focus degree, take the 3 that keep every
+  // *other* operator maximally balanced (minimal summed co-location degree).
+  auto pick = [&](int degree) {
+    std::vector<std::pair<int, size_t>> candidates;  // (other-op imbalance, plan index)
+    for (const auto& [d, idx] : by_degree) {
+      if (d != degree) {
+        continue;
+      }
+      int score = 0;
+      for (const auto& op : q.graph.operators()) {
+        if (op.id != focus_op && op.parallelism > 1) {
+          score += plans[idx].placement.ColocationDegree(graph, cluster, op.id);
+        }
+      }
+      candidates.emplace_back(score, idx);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<size_t> picked;
+    for (size_t i = 0; i < candidates.size() && picked.size() < 3; ++i) {
+      picked.push_back(candidates[i].second);
+    }
+    return picked;
+  };
+
+  std::printf("--- %s ---\n", title);
+  std::printf("focus operator: %s, plan population: %zu, degrees %d..%d\n",
+              q.graph.op(focus_op).name.c_str(), plans.size(), lo_degree, hi_degree);
+  double target = q.TotalTargetRate();
+
+  struct Group {
+    const char* label;
+    int degree;
+  };
+  Group groups[3] = {{"low  (P1-P3)", lo_degree},
+                     {"med  (P4-P6)", mid_degree},
+                     {"high (P7-P9)", hi_degree}};
+  std::printf("%-14s %-8s %-14s %-10s\n", "contention", "degree", "throughput", "bp(%)");
+  for (const auto& g : groups) {
+    auto picked = pick(g.degree);
+    if (picked.empty()) {
+      continue;
+    }
+    double thr = 0.0;
+    double bp = 0.0;
+    for (size_t idx : picked) {
+      FluidSimulator sim(graph, cluster, plans[idx].placement);
+      sim.SetAllSourceRates(0);  // overridden per source below
+      for (const auto& [op, r] : q.source_rates) {
+        sim.SetSourceRate(op, r);
+      }
+      QuerySummary s = sim.RunMeasured(/*warmup_s=*/60, /*measure_s=*/120);
+      thr += s.throughput / picked.size();
+      bp += s.backpressure / picked.size();
+    }
+    std::printf("%-14s %-8d %-14.0f %-10.1f\n", g.label, g.degree, thr, bp * 100.0);
+  }
+  std::printf("target rate: %.0f rec/s. paper: %s\n\n", target, paper_note);
+}
+
+int Main() {
+  std::printf("=== Figure 3: co-locating resource-intensive tasks ===\n\n");
+
+  // (a) Compute contention: Q3-inf, inference operator (OperatorId 2).
+  {
+    QuerySpec q = BuildQ3Inf();
+    Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+    RunExperiment("(a) compute-intensive: Q3-inf / inference", q, cluster, /*focus_op=*/2,
+                  "low-contention plans consistently achieve higher throughput, lower bp");
+  }
+  // (b) I/O contention: Q2-join, tumbling window join (OperatorId 4).
+  {
+    QuerySpec q = BuildQ2Join();
+    Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+    RunExperiment("(b) I/O-intensive: Q2-join / tumbling window join", q, cluster,
+                  /*focus_op=*/4, "low ~110k rec/s, bp<=4%; high ~91k rec/s, bp ~32%");
+  }
+  // (c) Network contention: Q3-inf with 1 Gbps NICs, decode operator (OperatorId 1).
+  {
+    QuerySpec q = BuildQ3Inf();
+    Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+    cluster.SetNetBandwidth(125e6);  // 1 Gbps outbound cap
+    RunExperiment("(c) network-intensive: Q3-inf @ 1 Gbps / decode", q, cluster,
+                  /*focus_op=*/1, "low 1555 rec/s @ 12% bp; high 1185 rec/s @ 37% bp");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace capsys
+
+int main() { return capsys::Main(); }

@@ -1,0 +1,72 @@
+// Reproduces Figure 9 (paper §6.4.2): effect of task placement on auto-scaling
+// convergence.
+//
+// Q3-inf starts with parallelism 1 for every operator; the input rate alternates between a
+// low and a high value, and DS2 decides when to rescale. The placement policy computes each
+// new plan. We print the throughput/slots timeline, the scaling-decision marks, and the
+// total number of decisions per policy.
+//
+// Paper reference: CAPSys converges within a single step after each rate change and always
+// reaches the target without over-provisioning; `default` and `evenly` oscillate and take
+// up to 8 additional scaling decisions, occupying up to four extra slots.
+#include <cstdio>
+
+#include "src/controller/scaling_experiments.h"
+
+namespace capsys {
+namespace {
+
+int Main() {
+  Cluster cluster(8, WorkerSpec::R5dXlarge(8));
+  QuerySpec q = BuildQ3Inf();
+  double low = 800.0;
+  double high = 2400.0;
+  std::vector<double> steps = {low, high, low, high, low};
+
+  std::printf("=== Figure 9: auto-scaling convergence (Q3-inf, DS2, rate square wave) ===\n\n");
+
+  for (PlacementPolicy policy : {PlacementPolicy::kCaps, PlacementPolicy::kFlinkDefault,
+                                 PlacementPolicy::kFlinkEvenly}) {
+    ScalingExperimentOptions options;
+    options.policy = policy;
+    options.start_optimal = false;  // parallelism 1, policy's own initial plan
+    options.step_duration_s = 300.0;
+    options.seed = 11;
+    ScalingRun run = RunScalingExperiment(q, cluster, steps, options);
+
+    std::printf("--- policy: %s — %d scaling decisions ---\n", PolicyName(policy),
+                run.total_decisions);
+    std::printf("decisions at:");
+    for (double t : run.decision_times_s) {
+      std::printf(" %.0fs", t);
+    }
+    std::printf("\n%-8s %-10s %-12s %-6s\n", "t(s)", "target", "throughput", "slots");
+    // Print the timeline every 30 s.
+    double next_print = 0.0;
+    for (const auto& p : run.timeline) {
+      if (p.time_s + 1e-9 >= next_print) {
+        std::printf("%-8.0f %-10.0f %-12.0f %-6d\n", p.time_s, p.target_rate, p.throughput,
+                    p.slots);
+        next_print = p.time_s + 30.0;
+      }
+    }
+    int met = 0;
+    for (const auto& s : run.steps) {
+      met += s.met_target ? 1 : 0;
+    }
+    std::printf("steps meeting target: %d/%zu, final slots per step:", met, run.steps.size());
+    for (const auto& s : run.steps) {
+      std::printf(" %d(min %d)", s.slots, s.min_slots);
+    }
+    std::printf("\n\n");
+  }
+  std::printf("paper: CAPSys converges in ~1 decision per rate change and meets every\n"
+              "target; default/evenly oscillate with up to 8 extra decisions and occupy up\n"
+              "to 4 extra slots.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capsys
+
+int main() { return capsys::Main(); }

@@ -1,0 +1,137 @@
+// Microbenchmarks (google-benchmark) for the hot kernels on the placement and simulation
+// paths: the contention solve, cost evaluation, greedy construction, find-first search, one
+// simulator tick, and the state store. These are the per-decision / per-tick costs that
+// determine how large a deployment the controller can manage online.
+#include <benchmark/benchmark.h>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/greedy.h"
+#include "src/caps/search.h"
+#include "src/common/rng.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+#include "src/simulator/fluid_simulator.h"
+#include "src/statestore/state_store.h"
+
+namespace capsys {
+namespace {
+
+struct Q3Fixture {
+  QuerySpec q = BuildQ3Inf();
+  Cluster cluster{4, WorkerSpec::R5dXlarge(4)};
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  std::vector<ResourceVector> demands =
+      TaskDemands(graph, PropagateRates(q.graph, q.source_rates));
+  CostModel model{graph, cluster, demands};
+};
+
+void BM_SolveWorker(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  WorkerSpec spec = WorkerSpec::R5dXlarge(n);
+  std::vector<TaskLoad> loads;
+  for (int i = 0; i < n; ++i) {
+    TaskLoad l;
+    l.cpu_per_record = 1e-4;
+    l.io_per_record = 5000;
+    l.net_per_record = 2000;
+    l.desired_rate = 5000;
+    l.stateful = i % 2 == 0;
+    l.gc_fraction = i % 3 == 0 ? 0.3 : 0.0;
+    loads.push_back(l);
+  }
+  ContentionParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveWorker(spec, params, loads));
+  }
+}
+BENCHMARK(BM_SolveWorker)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CostModelEvaluate(benchmark::State& state) {
+  Q3Fixture f;
+  Placement plan = GreedyBalancedPlacement(f.model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.Cost(plan));
+  }
+}
+BENCHMARK(BM_CostModelEvaluate);
+
+void BM_GreedyPlacement(benchmark::State& state) {
+  Q3Fixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyBalancedPlacement(f.model));
+  }
+}
+BENCHMARK(BM_GreedyPlacement);
+
+void BM_FindFirstSearch(benchmark::State& state) {
+  Q3Fixture f;
+  SearchOptions options;
+  options.alpha = ResourceVector{0.5, 0.5, 0.8};
+  options.find_first = true;
+  for (auto _ : state) {
+    CapsSearch search(f.model, options);
+    benchmark::DoNotOptimize(search.Run());
+  }
+}
+BENCHMARK(BM_FindFirstSearch);
+
+void BM_ExhaustiveEnumeration(benchmark::State& state) {
+  Q3Fixture f;
+  for (auto _ : state) {
+    SearchOptions options;
+    options.reorder = false;
+    CapsSearch search(f.model, options);
+    benchmark::DoNotOptimize(search.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 950);  // plans per enumeration
+}
+BENCHMARK(BM_ExhaustiveEnumeration);
+
+void BM_SimulatorTick(benchmark::State& state) {
+  Q3Fixture f;
+  FluidSimulator sim(f.graph, f.cluster, GreedyBalancedPlacement(f.model));
+  sim.SetAllSourceRates(f.q.TotalTargetRate());
+  sim.RunFor(5.0);  // warm
+  for (auto _ : state) {
+    sim.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * f.graph.num_tasks());
+}
+BENCHMARK(BM_SimulatorTick);
+
+void BM_StateStorePut(benchmark::State& state) {
+  StateStore store;
+  Rng rng(1);
+  int i = 0;
+  for (auto _ : state) {
+    store.Put("key" + std::to_string(i++ % 10000), "value-payload-0123456789");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateStorePut);
+
+void BM_StateStoreGet(benchmark::State& state) {
+  StateStore store;
+  for (int i = 0; i < 10000; ++i) {
+    store.Put("key" + std::to_string(i), "value-payload-0123456789");
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get("key" + std::to_string(i++ % 10000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateStoreGet);
+
+void BM_RatePropagation(benchmark::State& state) {
+  QuerySpec q = BuildQ2Join();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PropagateRates(q.graph, q.source_rates));
+  }
+}
+BENCHMARK(BM_RatePropagation);
+
+}  // namespace
+}  // namespace capsys
+
+BENCHMARK_MAIN();

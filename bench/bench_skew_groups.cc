@@ -1,0 +1,96 @@
+// Skew study (paper §5.2 "Addressing data skew" + technical-report experiment): under data
+// skew, tasks of one operator have unequal resource demands. A partitioner can organize the
+// tasks into *placement groups* of equal demand, which CAPS then explores as individual
+// outer layers.
+//
+// We model skew on Q1-sliding's window operator: 2 "hot" tasks carry 3x the per-task load of
+// the 6 "cold" tasks. Three placements are compared on the skewed workload:
+//   - CAPS + groups: search over the group-split graph (skew-aware demands)
+//   - CAPS unaware:  search over uniform demands, plan transferred to the skewed workload
+//   - Flink evenly:  count-balancing baseline
+//
+// Paper: "CAPSys already improves query performance in the presence of skew compared to the
+// baseline strategies" — and placement groups recover the rest.
+#include <cstdio>
+
+#include "src/baselines/flink_strategies.h"
+#include "src/caps/cost_model.h"
+#include "src/caps/placement_groups.h"
+#include "src/caps/search.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+#include "src/simulator/fluid_simulator.h"
+
+namespace capsys {
+namespace {
+
+int Main() {
+  QuerySpec base = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+
+  // Skewed ground truth: window tasks split into 2 hot (3x demand) + 6 cold tasks. Total
+  // demand is kept equal to the uniform case: 2*3x + 6*0.333x ~ 8x.
+  std::vector<GroupSpec> groups = {{2, 3.0}, {6, 1.0 / 3.0}};
+  LogicalGraph skewed = SplitIntoPlacementGroups(base.graph, /*op=*/2, groups);
+  PhysicalGraph physical = PhysicalGraph::Expand(skewed);
+  auto skew_rates = PropagateRates(skewed, base.source_rates);
+  CostModel skew_model(physical, cluster, TaskDemands(physical, skew_rates));
+
+  std::printf("=== Skew study: Q1-sliding with 2 hot (3x) + 6 cold window tasks ===\n\n");
+
+  auto evaluate = [&](const char* name, const Placement& plan) {
+    FluidSimulator sim(physical, cluster, plan);
+    for (const auto& [op, r] : base.source_rates) {
+      sim.SetSourceRate(op, r);
+    }
+    QuerySummary s = sim.RunMeasured(60, 120);
+    std::printf("%-16s throughput %-8.0f bp %5.1f%%  (hot-group coloc degree %d)\n", name,
+                s.throughput, s.backpressure * 100.0,
+                plan.ColocationDegree(physical, cluster, 2));
+  };
+
+  // (1) CAPS with placement groups: skew-aware search.
+  {
+    SearchResult r = CapsSearch(skew_model, SearchOptions{}).Run();
+    evaluate("caps+groups", r.best.placement);
+  }
+
+  // (2) CAPS unaware of skew: search over the same graph structure but uniform demands
+  // (every window task assumed equal), plan executed on the skewed workload.
+  {
+    auto uniform_rates = skew_rates;
+    std::vector<ResourceVector> uniform = TaskDemands(physical, uniform_rates);
+    // Average the two window groups' demands (ops 2 and 3 in the split graph).
+    ResourceVector mean;
+    int count = 0;
+    for (OperatorId o : {2, 3}) {
+      for (TaskId t : physical.TasksOf(o)) {
+        mean += uniform[static_cast<size_t>(t)];
+        ++count;
+      }
+    }
+    mean *= 1.0 / count;
+    for (OperatorId o : {2, 3}) {
+      for (TaskId t : physical.TasksOf(o)) {
+        uniform[static_cast<size_t>(t)] = mean;
+      }
+    }
+    CostModel uniform_model(physical, cluster, uniform);
+    SearchResult r = CapsSearch(uniform_model, SearchOptions{}).Run();
+    evaluate("caps-unaware", r.best.placement);
+  }
+
+  // (3) Flink evenly baseline (median-quality seed).
+  {
+    Rng rng(4);
+    evaluate("evenly", FlinkEvenlyPlacement(physical, cluster, rng));
+  }
+  std::printf("\nexpected: caps+groups isolates the hot tasks and reaches the target;\n"
+              "caps-unaware still beats the count-balancing baseline (paper §5.2).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capsys
+
+int main() { return capsys::Main(); }

@@ -1,0 +1,59 @@
+// Reproduces Table 2 (paper §4.4): number of discovered plans and search-tree size for
+// Q3-inf on a cluster of 8 workers x 4 slots, under compute threshold factors
+// alpha_cpu in {inf, 0.5, 0.2, 0.1, 0.05, 0.03, 0.01}, with and without search-tree
+// exploration reordering.
+//
+// Note on absolute numbers: the paper's tree counted 3.25M plans / 31M nodes because its
+// duplicate elimination is heuristic; our inner search breaks worker symmetry exactly, so
+// the unpruned tree is smaller. The trends the table demonstrates — plans and nodes
+// collapsing as alpha tightens, and reordering pruning far earlier — are reproduced.
+#include <cstdio>
+#include <vector>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/search.h"
+#include "src/common/str.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+
+namespace capsys {
+namespace {
+
+int Main() {
+  QuerySpec q = BuildQ3Inf();
+  Cluster cluster(8, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+
+  std::printf("=== Table 2: search-space size vs compute threshold, Q3-inf on 8x4 ===\n\n");
+  std::printf("%-10s %-12s %-12s %-20s %-12s\n", "alpha_cpu", "plans", "#nodes",
+              "#nodes w/ reorder", "pruned");
+
+  std::vector<double> alphas = {1.0, 0.5, 0.2, 0.1, 0.05, 0.03, 0.01};
+  for (double a : alphas) {
+    SearchOptions base;
+    base.alpha = ResourceVector{a, 1.0, 1.0};
+    base.reorder = false;
+    SearchResult plain = CapsSearch(model, base).Run();
+
+    SearchOptions reordered = base;
+    reordered.reorder = true;
+    SearchResult reord = CapsSearch(model, reordered).Run();
+
+    std::printf("%-10s %-12llu %-12llu %-20llu %-12llu\n",
+                a >= 1.0 ? "inf" : Sprintf("%.2f", a).c_str(),
+                static_cast<unsigned long long>(plain.stats.leaves),
+                static_cast<unsigned long long>(plain.stats.nodes),
+                static_cast<unsigned long long>(reord.stats.nodes),
+                static_cast<unsigned long long>(plain.stats.pruned));
+  }
+  std::printf("\npaper (their tree): plans 3.25m -> 0 and nodes 31m -> 798k as alpha_cpu\n"
+              "tightens from inf to 0.01; reordering shrinks nodes up to ~28x at 0.01.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capsys
+
+int main() { return capsys::Main(); }

@@ -1,0 +1,116 @@
+// Reproduces Table 3 (paper §6.3): CAPSys vs the ODRP joint parallelism+placement
+// optimizer (Cardellini et al.) on Q3-inf, deployed on four c5d.4xlarge workers with 8
+// slots each. ODRP runs in three configurations: Default (equal objective weights),
+// Weighted (hand-tuned toward throughput/resource efficiency), and Latency (response time
+// only). Each resulting plan is executed and backpressure, throughput, latency, slots, and
+// the decision time are reported.
+//
+// Paper reference: CAPSys 0.5% bp / 4236 rec/s / 27 slots / 0.2 s decision;
+// ODRP-Default 90% bp / 680 rec/s / 14 slots / 1636 s; ODRP-Weighted 48% / 3396 / 26 /
+// 4037 s; ODRP-Latency 15% / 4043 / 32 / 1607 s. Our ODRP solver uses a configurable
+// budget instead of running for an hour; it reports best-so-far plus whether the proof of
+// optimality was cut short — the orders-of-magnitude decision-time gap is structural.
+#include <cstdio>
+
+#include "src/common/str.h"
+#include "src/controller/deployment.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+#include "src/odrp/odrp.h"
+
+namespace capsys {
+namespace {
+
+struct Row {
+  const char* name;
+  double bp = 0.0;
+  double throughput = 0.0;
+  double latency = 0.0;
+  int slots = 0;
+  double decision_s = 0.0;
+  bool budget_hit = false;
+};
+
+Row Evaluate(const char* name, const LogicalGraph& graph, const Placement& placement,
+             const Cluster& cluster, const std::map<OperatorId, double>& rates,
+             double decision_s, bool budget_hit) {
+  PhysicalGraph physical = PhysicalGraph::Expand(graph);
+  FluidSimulator sim(physical, cluster, placement);
+  for (const auto& [op, r] : rates) {
+    sim.SetSourceRate(op, r);
+  }
+  QuerySummary s = sim.RunMeasured(/*warmup_s=*/60, /*measure_s=*/120);
+  Row row;
+  row.name = name;
+  row.bp = s.backpressure * 100.0;
+  row.throughput = s.throughput;
+  row.latency = s.latency_s;
+  row.slots = physical.num_tasks();
+  row.decision_s = decision_s;
+  row.budget_hit = budget_hit;
+  return row;
+}
+
+int Main() {
+  Cluster cluster(4, WorkerSpec::C5d4xlarge(8));
+  QuerySpec q = BuildQ3Inf();
+  // The c5d.4xlarge cluster has 4x the r5d CPU; scale the target accordingly (the paper
+  // targets ~4.2k rec/s on this setup).
+  q.ScaleRates(2.65);
+  std::printf("=== Table 3: CAPSys vs ODRP, Q3-inf on %s (target %.0f rec/s) ===\n\n",
+              cluster.ToString().c_str(), q.TotalTargetRate());
+
+  std::vector<Row> rows;
+
+  // --- CAPSys: profile + DS2 sizing + CAPS placement --------------------------------------
+  {
+    DeployOptions options;
+    options.policy = PlacementPolicy::kCaps;
+    options.use_ds2_sizing = true;
+    CapsysController controller(cluster, options);
+    Deployment d = controller.Deploy(q);
+    rows.push_back(Evaluate("CAPSys", d.graph, d.placement, cluster, d.source_rates,
+                            d.decision_time_s, false));
+  }
+
+  // --- ODRP configurations -----------------------------------------------------------------
+  struct Config {
+    const char* name;
+    OdrpWeights weights;
+  };
+  Config configs[3] = {{"ODRP-Default", OdrpWeights::Default()},
+                       {"ODRP-Weighted", OdrpWeights::Weighted()},
+                       {"ODRP-Latency", OdrpWeights::Latency()}};
+  for (const auto& cfg : configs) {
+    OdrpOptions options;
+    options.weights = cfg.weights;
+    options.max_parallelism = 16;
+    options.timeout_s = 30.0;  // budget; the full proof would run for hours (cf. paper)
+    OdrpResult r = SolveOdrp(q.graph, cluster, q.source_rates, options);
+    if (!r.found) {
+      std::printf("%s: no plan found within budget\n", cfg.name);
+      continue;
+    }
+    LogicalGraph sized = q.graph;
+    sized.SetParallelism(r.parallelism);
+    rows.push_back(Evaluate(cfg.name, sized, r.placement, cluster, q.source_rates,
+                            r.decision_time_s, r.budget_exhausted));
+  }
+
+  std::printf("%-15s %-14s %-20s %-14s %-10s %-16s\n", "policy", "backpressure",
+              "throughput (rec/s)", "latency (s)", "#slots", "decision time (s)");
+  for (const auto& row : rows) {
+    std::printf("%-15s %-14s %-20.0f %-14.3f %-10d %.3f%s\n", row.name,
+                Sprintf("%.1f%%", row.bp).c_str(), row.throughput, row.latency, row.slots,
+                row.decision_s, row.budget_hit ? " (budget hit)" : "");
+  }
+  std::printf("\npaper: CAPSys 0.5%% / 4236 / 0.292s / 27 slots / 0.2s;\n"
+              "ODRP-Default 90%% / 680 / 14 slots / 1636s; Weighted 48%% / 3396 / 26 / 4037s;\n"
+              "Latency 15%% / 4043 / 32 / 1607s.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capsys
+
+int main() { return capsys::Main(); }

@@ -1,0 +1,62 @@
+// Auto-scaling example: couple the DS2 scaling controller with CAPS placement under a
+// variable workload — the CAPSys control loop of the paper's §6.4.
+//
+//   $ ./autoscaling_pipeline [capsys|default|evenly]
+//
+// Runs the Q3-inf inference pipeline against a square-wave input rate and prints the
+// timeline of throughput, provisioned slots, and scaling decisions.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/controller/scaling_experiments.h"
+
+using namespace capsys;
+
+int main(int argc, char** argv) {
+  PlacementPolicy policy = PlacementPolicy::kCaps;
+  if (argc > 1) {
+    std::string arg = argv[1];
+    if (arg == "default") {
+      policy = PlacementPolicy::kFlinkDefault;
+    } else if (arg == "evenly") {
+      policy = PlacementPolicy::kFlinkEvenly;
+    } else if (arg != "capsys") {
+      std::fprintf(stderr, "usage: %s [capsys|default|evenly]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  Cluster cluster(8, WorkerSpec::R5dXlarge(8));
+  QuerySpec query = BuildQ3Inf();
+  std::vector<double> rate_steps = {800, 2400, 800, 2400};
+
+  ScalingExperimentOptions options;
+  options.policy = policy;
+  options.start_optimal = false;  // start from parallelism 1 and let DS2 find its way
+  options.step_duration_s = 300.0;
+
+  std::printf("policy: %s, cluster: %s\n", PolicyName(policy), cluster.ToString().c_str());
+  std::printf("running %zu rate steps of %.0f s each...\n\n", rate_steps.size(),
+              options.step_duration_s);
+  ScalingRun run = RunScalingExperiment(query, cluster, rate_steps, options);
+
+  std::printf("%-8s %-10s %-12s %-6s\n", "t(s)", "target", "throughput", "slots");
+  double next_print = 0.0;
+  for (const auto& p : run.timeline) {
+    if (p.time_s + 1e-9 >= next_print) {
+      std::printf("%-8.0f %-10.0f %-12.0f %-6d\n", p.time_s, p.target_rate, p.throughput,
+                  p.slots);
+      next_print = p.time_s + 60.0;
+    }
+  }
+  std::printf("\nscaling decisions (%d):", run.total_decisions);
+  for (double t : run.decision_times_s) {
+    std::printf(" %.0fs", t);
+  }
+  std::printf("\nper-step outcome:\n");
+  for (size_t i = 0; i < run.steps.size(); ++i) {
+    std::printf("  step %zu: %s\n", i, run.steps[i].ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "src/baselines/flink_strategies.h"
+
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace capsys {
+namespace {
+
+std::vector<TaskId> ShuffledTasks(const PhysicalGraph& graph, Rng& rng) {
+  std::vector<TaskId> tasks(static_cast<size_t>(graph.num_tasks()));
+  std::iota(tasks.begin(), tasks.end(), 0);
+  rng.Shuffle(tasks);
+  return tasks;
+}
+
+}  // namespace
+
+Placement FlinkDefaultPlacement(const PhysicalGraph& graph, const Cluster& cluster, Rng& rng) {
+  CAPSYS_CHECK(cluster.total_slots() >= graph.num_tasks());
+  Placement plan(graph.num_tasks());
+  std::vector<int> used(static_cast<size_t>(cluster.num_workers()), 0);
+  WorkerId w = 0;
+  for (TaskId t : ShuffledTasks(graph, rng)) {
+    while (used[static_cast<size_t>(w)] >= cluster.worker(w).spec.slots) {
+      ++w;
+      CAPSYS_CHECK(w < cluster.num_workers());
+    }
+    plan.Assign(t, w);
+    ++used[static_cast<size_t>(w)];
+  }
+  return plan;
+}
+
+Placement FlinkEvenlyPlacement(const PhysicalGraph& graph, const Cluster& cluster, Rng& rng) {
+  CAPSYS_CHECK(cluster.total_slots() >= graph.num_tasks());
+  Placement plan(graph.num_tasks());
+  std::vector<int> used(static_cast<size_t>(cluster.num_workers()), 0);
+  for (TaskId t : ShuffledTasks(graph, rng)) {
+    WorkerId best = kInvalidId;
+    for (WorkerId w = 0; w < cluster.num_workers(); ++w) {
+      if (used[static_cast<size_t>(w)] >= cluster.worker(w).spec.slots) {
+        continue;
+      }
+      if (best == kInvalidId || used[static_cast<size_t>(w)] < used[static_cast<size_t>(best)]) {
+        best = w;
+      }
+    }
+    CAPSYS_CHECK(best != kInvalidId);
+    plan.Assign(t, best);
+    ++used[static_cast<size_t>(best)];
+  }
+  return plan;
+}
+
+}  // namespace capsys

@@ -1,0 +1,25 @@
+// Flink's built-in task placement strategies (paper §2.2), used as evaluation baselines.
+//
+// Both assume task homogeneity: they balance the *number* of tasks rather than actual
+// resource load, and the task order is randomized, so placement quality varies across runs
+// of the same query (the variance Figures 7 and 8 show).
+#ifndef SRC_BASELINES_FLINK_STRATEGIES_H_
+#define SRC_BASELINES_FLINK_STRATEGIES_H_
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+#include "src/dataflow/placement.h"
+
+namespace capsys {
+
+// Flink's default policy: iterate over workers, filling all of a worker's slots before
+// moving to the next; tasks are selected in random order.
+Placement FlinkDefaultPlacement(const PhysicalGraph& graph, const Cluster& cluster, Rng& rng);
+
+// Flink's `cluster.evenly-spread-out-slots` policy: assign each task (in random order) to
+// the worker with the fewest assigned tasks.
+Placement FlinkEvenlyPlacement(const PhysicalGraph& graph, const Cluster& cluster, Rng& rng);
+
+}  // namespace capsys
+
+#endif  // SRC_BASELINES_FLINK_STRATEGIES_H_

@@ -1,0 +1,137 @@
+#include "src/caps/auto_tuner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+
+namespace capsys {
+namespace {
+
+// Runs a find-first feasibility probe with the given thresholds and remaining budget.
+bool Feasible(const CostModel& model, const ResourceVector& alpha, int num_threads,
+              double budget_s) {
+  if (budget_s <= 0.0) {
+    return false;
+  }
+  SearchOptions options;
+  options.alpha = alpha;
+  options.find_first = true;
+  options.reorder = true;
+  options.num_threads = num_threads;
+  options.timeout_s = budget_s;
+  CapsSearch search(model, options);
+  return search.Run().found;
+}
+
+}  // namespace
+
+std::string AutoTuneResult::ToString() const {
+  return Sprintf("alpha=%s feasible=%d iterations=%d elapsed=%.3fs%s",
+                 alpha.ToString().c_str(), feasible ? 1 : 0, iterations, elapsed_s,
+                 timed_out ? " TIMED_OUT" : "");
+}
+
+AutoTuneResult AutoTuneThresholds(const CostModel& model, const AutoTuneOptions& options) {
+  CAPSYS_CHECK(options.relax_factor > 1.0);
+  CAPSYS_CHECK(options.initial_alpha > 0.0);
+  auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
+  AutoTuneResult result;
+  auto probe = [&](const ResourceVector& alpha) {
+    ++result.iterations;
+    double budget = std::min(options.probe_timeout_s, options.timeout_s - elapsed());
+    return Feasible(model, alpha, options.num_threads, budget);
+  };
+  auto out_of_time = [&] { return elapsed() > options.timeout_s; };
+
+  // Phase 1: per-dimension minimum with the other dimensions disabled. Starting from the
+  // tightest bound, the threshold is relaxed with geometrically growing steps until a valid
+  // plan exists, then refined by bisection — logarithmically many probes, each of which may
+  // cost up to probe_timeout_s when it must prove (or give up on) infeasibility.
+  for (Resource r : kAllResources) {
+    double lo = 0.0;
+    double hi = options.initial_alpha;
+    double step = std::max(options.min_step, options.initial_alpha * (options.relax_factor - 1.0));
+    bool found = false;
+    while (!found) {
+      if (out_of_time()) {
+        result.timed_out = true;
+        result.elapsed_s = elapsed();
+        return result;
+      }
+      ResourceVector alpha{1.0, 1.0, 1.0};
+      alpha[r] = std::min(hi, 1.0);
+      if (probe(alpha)) {
+        found = true;
+        break;
+      }
+      lo = hi;
+      if (hi >= 1.0) {
+        // Even alpha = 1 (pruning disabled) found nothing within the probe budget; treat
+        // the dimension as unconstrained.
+        found = true;
+        break;
+      }
+      step *= 2.0;
+      hi = std::min(1.0, hi + step);
+    }
+    // Bisection refinement toward the minimum feasible value.
+    for (int i = 0; i < 5 && hi - lo > options.min_step && !out_of_time(); ++i) {
+      double mid = 0.5 * (lo + hi);
+      ResourceVector alpha{1.0, 1.0, 1.0};
+      alpha[r] = mid;
+      if (probe(alpha)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    result.phase1_alpha[r] = std::min(hi, 1.0);
+  }
+
+  // Phase 2: jointly relax the combined vector until feasible, again with geometrically
+  // growing steps (the per-dimension minima are rarely jointly achievable).
+  ResourceVector alpha = result.phase1_alpha;
+  ResourceVector step{options.min_step, options.min_step, options.min_step};
+  while (true) {
+    if (out_of_time()) {
+      result.timed_out = true;
+      result.elapsed_s = elapsed();
+      return result;
+    }
+    if (probe(alpha)) {
+      result.feasible = true;
+      result.alpha = alpha;
+      result.elapsed_s = elapsed();
+      return result;
+    }
+    bool all_maxed = true;
+    for (Resource r : kAllResources) {
+      if (alpha[r] < 1.0) {
+        alpha[r] = std::min(1.0, std::max(alpha[r] * options.relax_factor,
+                                          alpha[r] + step[r]));
+        step[r] = std::min(0.25, step[r] * 2.0);
+        all_maxed = false;
+      }
+    }
+    if (all_maxed) {
+      // Fully relaxed and still nothing found within the probe budget: one last probe with
+      // the entire remaining wall budget before declaring infeasibility.
+      ResourceVector ones{1.0, 1.0, 1.0};
+      ++result.iterations;
+      if (Feasible(model, ones, options.num_threads, options.timeout_s - elapsed())) {
+        result.feasible = true;
+        result.alpha = ones;
+      }
+      result.elapsed_s = elapsed();
+      return result;
+    }
+  }
+}
+
+}  // namespace capsys

@@ -1,0 +1,57 @@
+// Threshold auto-tuning (paper §5.2).
+//
+// Identifies the minimum feasible pruning-threshold vector for a deployment in two phases:
+//   Phase 1: per dimension, starting from the tightest bound (perfectly balanced placement)
+//            and relaxing multiplicatively until a valid plan exists with the other
+//            dimensions disabled.
+//   Phase 2: starting from the per-dimension minima, relax all dimensions jointly until a
+//            plan satisfying the full vector exists.
+// A timeout allows exiting early for infeasible configurations. Results depend only on the
+// query graph and resources, so they can be precomputed offline per scaling scenario.
+#ifndef SRC_CAPS_AUTO_TUNER_H_
+#define SRC_CAPS_AUTO_TUNER_H_
+
+#include <string>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/search.h"
+
+namespace capsys {
+
+struct AutoTuneOptions {
+  // Multiplicative relaxation step per iteration; the paper uses 1.1 for both phases.
+  double relax_factor = 1.1;
+  // Additive floor on each relaxation step. Purely multiplicative relaxation stalls when a
+  // dimension's phase-1 minimum is degenerate (e.g. C_net = 0 is always achievable by
+  // co-locating everything), which would let the other dimensions over-relax to 1 before
+  // the stalled dimension becomes jointly feasible.
+  double min_step = 0.01;
+  // Tightest initial bound (a strictly positive cost floor to start relaxing from).
+  double initial_alpha = 0.005;
+  // Wall-clock budget across both phases.
+  double timeout_s = 5.0;
+  // Budget per feasibility probe. Probes that exceed it count as infeasible (slightly
+  // over-relaxing the result) instead of eating the entire budget proving infeasibility of
+  // one threshold vector on a large instance.
+  double probe_timeout_s = 0.25;
+  // Threads handed to each feasibility-probe search.
+  int num_threads = 1;
+};
+
+struct AutoTuneResult {
+  bool feasible = false;
+  ResourceVector alpha;        // the minimum feasible threshold vector found
+  ResourceVector phase1_alpha;  // per-dimension minima with other dimensions disabled
+  int iterations = 0;           // total feasibility probes run
+  double elapsed_s = 0.0;
+  bool timed_out = false;
+
+  std::string ToString() const;
+};
+
+// Runs the two-phase auto-tuning procedure against `model`.
+AutoTuneResult AutoTuneThresholds(const CostModel& model, const AutoTuneOptions& options = {});
+
+}  // namespace capsys
+
+#endif  // SRC_CAPS_AUTO_TUNER_H_

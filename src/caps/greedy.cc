@@ -1,0 +1,80 @@
+#include "src/caps/greedy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace capsys {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+Placement GreedyBalancedPlacement(const CostModel& model) {
+  const PhysicalGraph& graph = model.graph();
+  const Cluster& cluster = model.cluster();
+  const auto& demands = model.demands();
+  int num_workers = cluster.num_workers();
+
+  // Normalization scales per dimension: the worst-case single-worker load L_max (avoid
+  // division by zero for absent dimensions).
+  ResourceVector scale;
+  for (Resource r : kAllResources) {
+    scale[r] = std::max(model.l_max()[r], kEps);
+  }
+
+  // Order tasks by their dominant normalized demand, heaviest first.
+  std::vector<TaskId> order(static_cast<size_t>(graph.num_tasks()));
+  std::iota(order.begin(), order.end(), 0);
+  auto weight = [&](TaskId t) {
+    const auto& d = demands[static_cast<size_t>(t)];
+    double w = 0.0;
+    for (Resource r : kAllResources) {
+      w = std::max(w, d[r] / scale[r]);
+    }
+    return w;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](TaskId a, TaskId b) { return weight(a) > weight(b); });
+
+  Placement plan(graph.num_tasks());
+  std::vector<int> used(static_cast<size_t>(num_workers), 0);
+  std::vector<ResourceVector> load(static_cast<size_t>(num_workers));
+  for (TaskId t : order) {
+    const auto& d = demands[static_cast<size_t>(t)];
+    WorkerId best = kInvalidId;
+    double best_score = 0.0;
+    double best_sum = 0.0;
+    for (WorkerId w = 0; w < num_workers; ++w) {
+      if (used[static_cast<size_t>(w)] >= cluster.worker(w).spec.slots) {
+        continue;
+      }
+      // Score: the worker's normalized max-dimension load after adding the task, with the
+      // summed normalized load as tie-breaker (prefers emptier workers among equal maxima).
+      // Network uses the full per-task output as a conservative proxy (remote fractions are
+      // not known until all neighbors are placed). The model's per-worker scale folds in
+      // capacity normalization on heterogeneous clusters.
+      const ResourceVector& wscale = model.WorkerScale(w);
+      double c = (load[static_cast<size_t>(w)].cpu + d.cpu) * wscale.cpu / scale.cpu;
+      double i = (load[static_cast<size_t>(w)].io + d.io) * wscale.io / scale.io;
+      double n = (load[static_cast<size_t>(w)].net + d.net) * wscale.net / scale.net;
+      double score = std::max({c, i, n});
+      double sum = c + i + n;
+      if (best == kInvalidId || score < best_score - kEps ||
+          (score < best_score + kEps && sum < best_sum)) {
+        best = w;
+        best_score = score;
+        best_sum = sum;
+      }
+    }
+    CAPSYS_CHECK_MSG(best != kInvalidId, "cluster has fewer free slots than tasks");
+    plan.Assign(t, best);
+    ++used[static_cast<size_t>(best)];
+    load[static_cast<size_t>(best)] += d;
+  }
+  return plan;
+}
+
+}  // namespace capsys

@@ -1,0 +1,17 @@
+// Greedy load-balanced placement: an LPT-style constructor used as the incumbent / fallback
+// plan for the CAPS search. Tasks are placed in decreasing order of their largest
+// normalized demand; each goes to the worker (with a free slot) that minimizes the
+// resulting scalarized cost. Runs in O(T * W) model evaluations and always returns a valid
+// plan, so the search never degrades below it even under tight time budgets.
+#ifndef SRC_CAPS_GREEDY_H_
+#define SRC_CAPS_GREEDY_H_
+
+#include "src/caps/cost_model.h"
+
+namespace capsys {
+
+Placement GreedyBalancedPlacement(const CostModel& model);
+
+}  // namespace capsys
+
+#endif  // SRC_CAPS_GREEDY_H_

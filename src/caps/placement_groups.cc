@@ -1,0 +1,62 @@
+#include "src/caps/placement_groups.h"
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+
+namespace capsys {
+
+LogicalGraph SplitIntoPlacementGroups(const LogicalGraph& graph, OperatorId op,
+                                      const std::vector<GroupSpec>& groups) {
+  CAPSYS_CHECK(op >= 0 && op < graph.num_operators());
+  CAPSYS_CHECK(!groups.empty());
+  int total = 0;
+  for (const auto& g : groups) {
+    CAPSYS_CHECK(g.parallelism >= 1);
+    total += g.parallelism;
+  }
+  CAPSYS_CHECK_MSG(total == graph.op(op).parallelism,
+                   "group parallelisms must sum to the operator parallelism");
+
+  LogicalGraph out(graph.name());
+  // Copy all operators; the split operator becomes `groups.size()` operators appended in
+  // place of the original position ordering (original op index maps to its first group).
+  std::vector<OperatorId> remap(static_cast<size_t>(graph.num_operators()), kInvalidId);
+  std::vector<OperatorId> group_ids;
+  for (const auto& o : graph.operators()) {
+    if (o.id == op) {
+      for (size_t g = 0; g < groups.size(); ++g) {
+        OperatorProfile profile = o.profile;
+        profile.cpu_per_record *= groups[g].demand_scale;
+        profile.io_bytes_per_record *= groups[g].demand_scale;
+        profile.out_bytes_per_record *= groups[g].demand_scale;
+        OperatorId id = out.AddOperator(Sprintf("%s/g%zu", o.name.c_str(), g), o.kind, profile,
+                                        groups[g].parallelism);
+        group_ids.push_back(id);
+        if (g == 0) {
+          remap[static_cast<size_t>(o.id)] = id;
+        }
+      }
+    } else {
+      remap[static_cast<size_t>(o.id)] =
+          out.AddOperator(o.name, o.kind, o.profile, o.parallelism);
+    }
+  }
+  for (const auto& e : graph.edges()) {
+    std::vector<OperatorId> froms = {remap[static_cast<size_t>(e.from)]};
+    std::vector<OperatorId> tos = {remap[static_cast<size_t>(e.to)]};
+    if (e.from == op) {
+      froms = group_ids;
+    }
+    if (e.to == op) {
+      tos = group_ids;
+    }
+    for (OperatorId f : froms) {
+      for (OperatorId t : tos) {
+        out.AddEdge(f, t, e.scheme);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace capsys

@@ -1,0 +1,30 @@
+// Placement groups (paper §5.2 "Addressing data skew").
+//
+// CAPS treats all tasks of an operator as identical. Under data skew, a partitioner can
+// organize an operator's tasks into groups of (approximately) equal resource demand; each
+// group is then explored as an individual outer layer. This utility rewrites a logical
+// graph, splitting one operator into per-group operators that inherit its edges, so the
+// unmodified CAPS search handles groups natively.
+#ifndef SRC_CAPS_PLACEMENT_GROUPS_H_
+#define SRC_CAPS_PLACEMENT_GROUPS_H_
+
+#include <vector>
+
+#include "src/dataflow/logical_graph.h"
+
+namespace capsys {
+
+struct GroupSpec {
+  int parallelism = 1;        // tasks in this group
+  double demand_scale = 1.0;  // per-task resource scale relative to the original profile
+};
+
+// Returns a new graph where operator `op` is replaced by one operator per group. Each group
+// operator keeps the original profile scaled by `demand_scale` and inherits every incoming
+// and outgoing edge. The group parallelisms must sum to the original operator parallelism.
+LogicalGraph SplitIntoPlacementGroups(const LogicalGraph& graph, OperatorId op,
+                                      const std::vector<GroupSpec>& groups);
+
+}  // namespace capsys
+
+#endif  // SRC_CAPS_PLACEMENT_GROUPS_H_

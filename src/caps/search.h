@@ -1,0 +1,146 @@
+// Contention-Aware Placement Search (paper §4.3-§4.4).
+//
+// The search space of feasible plans is explored as a tree in DFS order:
+//   - the *outer search* places one operator per layer (in resource-ranked order when
+//     reordering is enabled, §4.4.2);
+//   - the *inner search* expands a layer worker by worker, deciding how many of the
+//     operator's (identical) tasks each worker receives.
+//
+// Duplicate elimination (§4.3): workers are homogeneous, so a worker whose already-assigned
+// task multiset equals that of a previous worker may receive at most as many tasks of the
+// current operator as that previous worker. This rule makes the enumeration an *exact* orbit
+// enumerator: every distinct plan (up to worker permutation) is produced exactly once —
+// validated against brute force in tests, and reproducing the paper's plan counts (80 for
+// Q1-sliding, 665 for Q2-join, 950 for Q3-inf on the 4x4 cluster).
+//
+// Threshold pruning (§4.4.1): per-worker loads grow monotonically down the tree, so a branch
+// dies as soon as any worker load exceeds L_i_min + alpha_i (L_i_max - L_i_min) (Eq. 10).
+#ifndef SRC_CAPS_SEARCH_H_
+#define SRC_CAPS_SEARCH_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/caps/cost_model.h"
+#include "src/common/thread_pool.h"
+
+namespace capsys {
+
+struct SearchOptions {
+  // Pruning thresholds per dimension; values >= 1 disable pruning in that dimension
+  // (cost values never exceed 1 by construction).
+  ResourceVector alpha{1.0, 1.0, 1.0};
+  // Explore resource-heavy operators first (§4.4.2).
+  bool reorder = true;
+  // Worker-symmetry duplicate elimination (§4.3). Disabling it enumerates every symmetric
+  // copy of each plan — only useful for ablation studies.
+  bool eliminate_duplicates = true;
+  // Try near-balanced task counts first inside the inner search so the first complete plan
+  // is already good (anytime behaviour). Disabling falls back to ascending count order.
+  bool value_ordering = true;
+  // Stop at the first plan satisfying the thresholds (used by the Fig. 10a measurements
+  // and by threshold auto-tuning feasibility probes).
+  bool find_first = false;
+  // Retain every satisfying plan (exhaustive studies, Fig. 2 / Fig. 5).
+  bool collect_plans = false;
+  size_t max_collected = size_t{1} << 22;
+  // Worker threads for parallel subtree exploration; 1 = fully deterministic.
+  int num_threads = 1;
+  double timeout_s = 1e18;
+};
+
+struct ScoredPlan {
+  Placement placement;
+  ResourceVector cost;
+};
+
+struct SearchStats {
+  uint64_t nodes = 0;    // inner-search tree nodes expanded
+  uint64_t leaves = 0;   // complete plans satisfying the thresholds
+  uint64_t pruned = 0;   // branches cut by threshold pruning
+  double elapsed_s = 0.0;
+  bool timed_out = false;
+
+  std::string ToString() const;
+};
+
+struct SearchResult {
+  bool found = false;
+  ScoredPlan best;                    // BetterCost-minimal plan of the pareto front
+  std::vector<ScoredPlan> pareto;     // pareto-optimal plans w.r.t. the cost vector
+  std::vector<ScoredPlan> collected;  // all satisfying plans when collect_plans is set
+  SearchStats stats;
+};
+
+class CapsSearch {
+ public:
+  // `model` must outlive the search. The graph may not contain forward edges between
+  // operators with parallelism > 1 (task symmetry would be broken by subtask pairing);
+  // this is CHECKed.
+  CapsSearch(const CostModel& model, SearchOptions options);
+  ~CapsSearch();
+
+  SearchResult Run();
+
+  // The operator exploration order the search used (after reordering).
+  const std::vector<OperatorId>& operator_order() const { return order_; }
+
+ private:
+  struct Ctx;
+
+  void PlaceOp(Ctx& ctx, size_t layer);
+  void InnerSearch(Ctx& ctx, size_t layer, WorkerId w, int remaining);
+  void AtLeaf(Ctx& ctx);
+  bool ShouldStop();
+  // Applies / reverts the load deltas of placing `count` tasks of the layer's operator on
+  // worker `w`, including resolved cross-worker network contributions.
+  void ApplyPlacement(Ctx& ctx, size_t layer, WorkerId w, int count);
+  void UndoPlacement(Ctx& ctx, size_t layer, WorkerId w, int count);
+  bool WithinBounds(const Ctx& ctx) const;
+
+  const CostModel& model_;
+  SearchOptions options_;
+  std::vector<OperatorId> order_;  // outer layers
+  ResourceVector bound_;           // Eq. 10 load bound
+  // Per-operator task demand (tasks of one operator are identical).
+  std::vector<ResourceVector> op_task_demand_;   // indexed by OperatorId
+  std::vector<double> op_downstream_channels_;   // |D(t)| per task of op
+  std::vector<int> op_parallelism_;
+  // Adjacency between operators with channel multiplicities (all-to-all edges).
+  struct OpEdge {
+    OperatorId peer;
+    // Edges where this op is upstream: per-task share of U_net per peer task.
+    double net_share_per_peer_task;
+  };
+  std::vector<std::vector<OpEdge>> out_edges_;  // o -> downstream peers
+  std::vector<std::vector<OpEdge>> in_edges_;   // o -> upstream peers (share = peer's)
+
+  // Spec-equivalence class per worker: the duplicate rule only compares workers of the
+  // same class (all zero for homogeneous clusters).
+  std::vector<int> worker_class_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> nodes_{0};
+  std::atomic<uint64_t> leaves_{0};
+  std::atomic<uint64_t> pruned_{0};
+  std::atomic<bool> timed_out_{false};
+  double deadline_s_ = 1e300;
+  std::chrono::steady_clock::time_point start_;
+
+  std::mutex result_mu_;
+  SearchResult result_;
+};
+
+// Convenience: enumerate every distinct placement plan (no thresholds), returning plans
+// with their cost vectors. Used by the exhaustive study (Fig. 2 / Fig. 5) and by tests.
+std::vector<ScoredPlan> EnumerateAllPlans(const CostModel& model);
+
+}  // namespace capsys
+
+#endif  // SRC_CAPS_SEARCH_H_

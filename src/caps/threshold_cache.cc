@@ -1,0 +1,149 @@
+#include "src/caps/threshold_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+#include "src/common/thread_pool.h"
+#include "src/dataflow/rates.h"
+
+namespace capsys {
+
+void ThresholdCache::Precompute(const LogicalGraph& graph,
+                                const std::map<OperatorId, double>& source_rates,
+                                const Cluster& cluster,
+                                const std::vector<std::vector<int>>& scenarios,
+                                const AutoTuneOptions& options, int num_threads) {
+  std::mutex mu;
+  ThreadPool pool(std::max(1, num_threads));
+  for (const auto& scenario : scenarios) {
+    CAPSYS_CHECK(scenario.size() == static_cast<size_t>(graph.num_operators()));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (entries_.count(scenario) > 0) {
+        continue;
+      }
+    }
+    pool.Submit([this, &mu, &graph, &source_rates, &cluster, &options, scenario] {
+      LogicalGraph sized = graph;
+      sized.SetParallelism(scenario);
+      if (sized.total_parallelism() > cluster.total_slots()) {
+        return;  // scenario does not fit this cluster
+      }
+      PhysicalGraph physical = PhysicalGraph::Expand(sized);
+      auto rates = PropagateRates(sized, source_rates);
+      CostModel model(physical, cluster, TaskDemands(physical, rates));
+      AutoTuneResult tuned = AutoTuneThresholds(model, options);
+      if (tuned.feasible) {
+        std::lock_guard<std::mutex> lock(mu);
+        entries_[scenario] = tuned.alpha;
+      }
+    });
+  }
+  pool.Wait();
+}
+
+std::optional<ResourceVector> ThresholdCache::Lookup(const std::vector<int>& parallelism) const {
+  auto it = entries_.find(parallelism);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ThresholdCache::Insert(const std::vector<int>& parallelism, const ResourceVector& alpha) {
+  entries_[parallelism] = alpha;
+}
+
+std::string ThresholdCache::Serialize() const {
+  std::string out;
+  for (const auto& [parallelism, alpha] : entries_) {
+    std::vector<std::string> parts;
+    for (int p : parallelism) {
+      parts.push_back(Sprintf("%d", p));
+    }
+    out += Sprintf("%s %.17g %.17g %.17g\n", Join(parts, ",").c_str(), alpha.cpu, alpha.io,
+                   alpha.net);
+  }
+  return out;
+}
+
+bool ThresholdCache::Deserialize(const std::string& text) {
+  std::map<std::vector<int>, ResourceVector> parsed;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    ResourceVector alpha;
+    if (!(fields >> key >> alpha.cpu >> alpha.io >> alpha.net)) {
+      entries_.clear();
+      return false;
+    }
+    std::vector<int> parallelism;
+    std::istringstream keys(key);
+    std::string token;
+    while (std::getline(keys, token, ',')) {
+      try {
+        parallelism.push_back(std::stoi(token));
+      } catch (...) {
+        entries_.clear();
+        return false;
+      }
+    }
+    if (parallelism.empty()) {
+      entries_.clear();
+      return false;
+    }
+    parsed[parallelism] = alpha;
+  }
+  entries_ = std::move(parsed);
+  return true;
+}
+
+std::vector<std::vector<int>> EnumerateScalingScenarios(
+    const LogicalGraph& graph, const std::map<OperatorId, double>& source_rates,
+    const WorkerSpec& worker_spec, const std::vector<double>& rate_multipliers) {
+  std::set<std::vector<int>> scenarios;
+  for (double mult : rate_multipliers) {
+    std::map<OperatorId, double> rates = source_rates;
+    for (auto& [op, r] : rates) {
+      r *= mult;
+    }
+    auto op_rates = PropagateRates(graph, rates);
+    std::vector<int> parallelism(static_cast<size_t>(graph.num_operators()), 1);
+    for (const auto& op : graph.operators()) {
+      // Standalone per-task rate from the declared profile (solo GC multiplier applied;
+      // one slot runs one thread, i.e. at most one core).
+      constexpr double kCoresPerTask = 1.0;
+      double cpu_eff = op.profile.cpu_per_record * (1.0 + op.profile.gc_spike_fraction);
+      double solo = 1e18;
+      if (cpu_eff > 1e-15) {
+        solo = std::min(solo, kCoresPerTask / cpu_eff);
+      }
+      if (op.profile.io_bytes_per_record > 1e-15) {
+        solo = std::min(solo, worker_spec.io_bandwidth_bps / op.profile.io_bytes_per_record);
+      }
+      double out = op.profile.selectivity * op.profile.out_bytes_per_record;
+      if (out > 1e-15) {
+        solo = std::min(solo, worker_spec.net_bandwidth_bps / out);
+      }
+      double in = op_rates[static_cast<size_t>(op.id)].input_rate;
+      if (solo > 1e-9 && in > 1e-9) {
+        parallelism[static_cast<size_t>(op.id)] =
+            std::max(1, static_cast<int>(std::ceil(in / solo)));
+      }
+    }
+    scenarios.insert(parallelism);
+  }
+  return {scenarios.begin(), scenarios.end()};
+}
+
+}  // namespace capsys

@@ -1,0 +1,55 @@
+// Offline threshold precomputation (paper §5.2): "Since the auto-tuning results depend only
+// on the query graph and the available resources, we can pre-compute thresholds for various
+// possible scaling scenarios (combinations of operator parallelism settings) offline and in
+// parallel. The results can be used to select the pre-calculated thresholds when scaling is
+// triggered at runtime."
+//
+// Cost vectors are invariant under uniform rate scaling (all loads, L_min and L_max scale
+// together), so a scenario is keyed purely by its parallelism vector.
+#ifndef SRC_CAPS_THRESHOLD_CACHE_H_
+#define SRC_CAPS_THRESHOLD_CACHE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/caps/auto_tuner.h"
+#include "src/cluster/cluster.h"
+#include "src/dataflow/logical_graph.h"
+
+namespace capsys {
+
+class ThresholdCache {
+ public:
+  // Auto-tunes thresholds for every scenario (a parallelism vector per operator of
+  // `graph`), spreading scenarios across `num_threads` workers. Existing entries are kept.
+  void Precompute(const LogicalGraph& graph, const std::map<OperatorId, double>& source_rates,
+                  const Cluster& cluster, const std::vector<std::vector<int>>& scenarios,
+                  const AutoTuneOptions& options = {}, int num_threads = 2);
+
+  // Returns the precomputed thresholds for a parallelism vector, if present.
+  std::optional<ResourceVector> Lookup(const std::vector<int>& parallelism) const;
+
+  void Insert(const std::vector<int>& parallelism, const ResourceVector& alpha);
+  size_t size() const { return entries_.size(); }
+
+  // Plain-text persistence: one line per entry, "p1,p2,...,pk alpha_cpu alpha_io alpha_net".
+  std::string Serialize() const;
+  // Replaces the cache contents; returns false (leaving the cache empty) on parse errors.
+  bool Deserialize(const std::string& text);
+
+ private:
+  std::map<std::vector<int>, ResourceVector> entries_;
+};
+
+// Enumerates plausible DS2 scaling scenarios for `graph`: for every total rate in
+// `rate_multipliers` (relative to `source_rates`), the minimal parallelism vector at that
+// rate given standalone per-task rates. Deduplicated.
+std::vector<std::vector<int>> EnumerateScalingScenarios(
+    const LogicalGraph& graph, const std::map<OperatorId, double>& source_rates,
+    const WorkerSpec& worker_spec, const std::vector<double>& rate_multipliers);
+
+}  // namespace capsys
+
+#endif  // SRC_CAPS_THRESHOLD_CACHE_H_

@@ -1,0 +1,98 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+
+namespace capsys {
+
+WorkerSpec WorkerSpec::R5dXlarge(int slots) {
+  WorkerSpec spec;
+  spec.name = "r5d.xlarge";
+  spec.slots = slots;
+  spec.cpu_capacity = 4.0;
+  spec.io_bandwidth_bps = 230e6;   // one NVMe SSD
+  spec.net_bandwidth_bps = 1.25e9;  // "up to 10 Gbps"
+  return spec;
+}
+
+WorkerSpec WorkerSpec::M5d2xlarge(int slots) {
+  WorkerSpec spec;
+  spec.name = "m5d.2xlarge";
+  spec.slots = slots;
+  spec.cpu_capacity = 8.0;
+  spec.io_bandwidth_bps = 460e6;
+  spec.net_bandwidth_bps = 1.25e9;
+  return spec;
+}
+
+WorkerSpec WorkerSpec::C5d4xlarge(int slots) {
+  WorkerSpec spec;
+  spec.name = "c5d.4xlarge";
+  spec.slots = slots;
+  spec.cpu_capacity = 16.0;
+  spec.io_bandwidth_bps = 600e6;
+  spec.net_bandwidth_bps = 1.25e9;
+  return spec;
+}
+
+Cluster::Cluster(int num_workers, const WorkerSpec& spec) {
+  CAPSYS_CHECK(num_workers >= 0);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.push_back(Worker{.id = i, .spec = spec});
+  }
+}
+
+Cluster::Cluster(std::vector<WorkerSpec> specs) {
+  workers_.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    workers_.push_back(Worker{.id = static_cast<WorkerId>(i), .spec = std::move(specs[i])});
+  }
+}
+
+int Cluster::slots_per_worker() const {
+  int slots = 0;
+  for (const auto& w : workers_) {
+    slots = std::max(slots, w.spec.slots);
+  }
+  return slots;
+}
+
+bool Cluster::IsHomogeneous() const {
+  for (const auto& w : workers_) {
+    const auto& a = w.spec;
+    const auto& b = workers_[0].spec;
+    if (a.slots != b.slots || a.cpu_capacity != b.cpu_capacity ||
+        a.io_bandwidth_bps != b.io_bandwidth_bps ||
+        a.net_bandwidth_bps != b.net_bandwidth_bps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Cluster::total_slots() const {
+  int total = 0;
+  for (const auto& w : workers_) {
+    total += w.spec.slots;
+  }
+  return total;
+}
+
+void Cluster::SetNetBandwidth(double bps) {
+  for (auto& w : workers_) {
+    w.spec.net_bandwidth_bps = bps;
+  }
+}
+
+std::string Cluster::ToString() const {
+  if (workers_.empty()) {
+    return "Cluster(empty)";
+  }
+  return Sprintf("Cluster(%d x %s, %d slots/worker, %d total slots)", num_workers(),
+                 workers_[0].spec.name.c_str(), slots_per_worker(), total_slots());
+}
+
+}  // namespace capsys

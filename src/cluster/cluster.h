@@ -1,0 +1,72 @@
+// Worker cluster resource model (paper §2.1, Figure 1): a set of homogeneous workers, each
+// exposing a fixed number of compute slots and sharing CPU, disk-I/O, and network bandwidth
+// among the tasks placed on it.
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace capsys {
+
+// Physical capacities of one worker. Units:
+//  - cpu_capacity: normalized CPU-seconds per second (i.e., number of cores).
+//  - io_bandwidth_bps: disk read+write bytes per second the state backend can sustain.
+//  - net_bandwidth_bps: outbound NIC bytes per second.
+struct WorkerSpec {
+  std::string name = "generic";
+  int slots = 4;
+  double cpu_capacity = 4.0;
+  double io_bandwidth_bps = 200e6;
+  double net_bandwidth_bps = 1.25e9;  // 10 Gbps
+
+  // Presets mirroring the paper's EC2 instance types (capacities are proportional to the
+  // instances' vCPU/disk/NIC specs; absolute values are calibration constants).
+  static WorkerSpec R5dXlarge(int slots = 4);   // 4 vCPU, motivation study + §6.4
+  static WorkerSpec M5d2xlarge(int slots = 8);  // 8 vCPU, §6.2
+  static WorkerSpec C5d4xlarge(int slots = 8);  // 16 vCPU, §6.3
+};
+
+// One worker instance in the cluster.
+struct Worker {
+  WorkerId id = kInvalidId;
+  WorkerSpec spec;
+};
+
+// A fixed cluster of workers connected by the datacenter network. Propagation delays
+// inside a datacenter are negligible (paper §7), so links are modelled only through each
+// worker's outbound bandwidth. The paper's model assumes homogeneous workers; the
+// heterogeneous constructor is an extension of this implementation (the CAPS search then
+// breaks worker symmetry only among equal-spec workers).
+class Cluster {
+ public:
+  Cluster() = default;
+  Cluster(int num_workers, const WorkerSpec& spec);
+  // Heterogeneous cluster: one worker per spec, in order.
+  explicit Cluster(std::vector<WorkerSpec> specs);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  // Slots of the largest worker (the homogeneous case returns the common value). Used by
+  // the cost model's worst-case co-location bound.
+  int slots_per_worker() const;
+  int total_slots() const;
+  bool IsHomogeneous() const;
+
+  const Worker& worker(WorkerId id) const { return workers_[static_cast<size_t>(id)]; }
+  const std::vector<Worker>& workers() const { return workers_; }
+
+  // Caps every worker's outbound bandwidth (used by the Fig. 3c network-contention study,
+  // which throttles workers to 1 Gbps).
+  void SetNetBandwidth(double bps);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Worker> workers_;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,41 @@
+// Minimal leveled logger. Writes to stderr; level settable globally.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace capsys {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one log line "L <module>: <msg>" if `level` >= the global level.
+void LogMessage(LogLevel level, const std::string& module, const std::string& msg);
+
+#define CAPSYS_LOG_DEBUG(mod, msg) ::capsys::LogMessage(::capsys::LogLevel::kDebug, (mod), (msg))
+#define CAPSYS_LOG_INFO(mod, msg) ::capsys::LogMessage(::capsys::LogLevel::kInfo, (mod), (msg))
+#define CAPSYS_LOG_WARN(mod, msg) ::capsys::LogMessage(::capsys::LogLevel::kWarn, (mod), (msg))
+#define CAPSYS_LOG_ERROR(mod, msg) ::capsys::LogMessage(::capsys::LogLevel::kError, (mod), (msg))
+
+// Invariant check that aborts with a message. Used for programming errors, not user input.
+void CheckFailed(const char* file, int line, const char* expr, const std::string& msg);
+
+#define CAPSYS_CHECK(expr)                                         \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::capsys::CheckFailed(__FILE__, __LINE__, #expr, "");        \
+    }                                                              \
+  } while (0)
+
+#define CAPSYS_CHECK_MSG(expr, msg)                                \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::capsys::CheckFailed(__FILE__, __LINE__, #expr, (msg));     \
+    }                                                              \
+  } while (0)
+
+}  // namespace capsys
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,116 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/str.h"
+
+namespace capsys {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  size_t total = count_ + other.count_;
+  double nf = static_cast<double>(count_);
+  double mf = static_cast<double>(other.count_);
+  mean_ += delta * mf / static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * nf * mf / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::Stddev() const { return std::sqrt(Variance()); }
+
+std::string RunningStats::ToString() const {
+  return Sprintf("n=%zu mean=%.4g sd=%.4g min=%.4g max=%.4g", count_, Mean(), Stddev(), Min(),
+                 Max());
+}
+
+void Distribution::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Distribution::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Distribution::Percentile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  if (q <= 0.0) {
+    return samples_.front();
+  }
+  if (q >= 100.0) {
+    return samples_.back();
+  }
+  double pos = q / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) {
+    return samples_.back();
+  }
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+BoxSummary Summarize(const std::vector<double>& values) {
+  Distribution d;
+  for (double v : values) {
+    d.Add(v);
+  }
+  BoxSummary s;
+  s.min = d.Percentile(0);
+  s.p25 = d.Percentile(25);
+  s.median = d.Percentile(50);
+  s.p75 = d.Percentile(75);
+  s.max = d.Percentile(100);
+  s.mean = d.Mean();
+  return s;
+}
+
+std::string BoxSummary::ToString() const {
+  return Sprintf("min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g mean=%.4g", min, p25, median, p75,
+                 max, mean);
+}
+
+}  // namespace capsys

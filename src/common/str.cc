@@ -1,0 +1,49 @@
+#include "src/common/str.h"
+
+#include <cstdio>
+
+#include "src/common/types.h"
+
+namespace capsys {
+
+std::string Sprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Humanize(double value, int digits) {
+  std::string s = Sprintf("%.*f", digits, value);
+  // Trim trailing zeros (but keep at least one digit after the point).
+  while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') {
+    s.pop_back();
+  }
+  return s;
+}
+
+std::string ResourceVector::ToString() const {
+  return Sprintf("[cpu=%.4g io=%.4g net=%.4g]", cpu, io, net);
+}
+
+}  // namespace capsys

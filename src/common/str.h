@@ -1,0 +1,22 @@
+// printf-style string formatting helpers (libstdc++ 12 lacks <format>).
+#ifndef SRC_COMMON_STR_H_
+#define SRC_COMMON_STR_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace capsys {
+
+// Returns a std::string built from a printf format string. Attribute-checked.
+std::string Sprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Formats a double with `digits` significant decimals, trimming trailing zeros.
+std::string Humanize(double value, int digits = 3);
+
+}  // namespace capsys
+
+#endif  // SRC_COMMON_STR_H_

@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a shared work queue. The CAPS parallel search uses this to
+// spread subtree exploration across threads (paper §5.1: "CAPS parallelizes the search by
+// leveraging a configurable thread pool ... threads can dynamically offload work").
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace capsys {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Safe to call from worker threads (tasks may spawn tasks).
+  void Submit(std::function<void()> fn);
+
+  // Blocks until all submitted tasks (including ones spawned by tasks) have finished.
+  void Wait();
+
+  // True when the queue is non-empty is NOT what this reports; it reports whether some
+  // thread is currently idle, which CAPS uses to decide whether offloading a subtree is
+  // worthwhile.
+  bool HasIdleThread() const;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  int idle_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

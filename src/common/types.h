@@ -1,0 +1,113 @@
+// Core identifier and resource-vector types shared by every capsys module.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace capsys {
+
+// Index-style identifiers. These are plain integers rather than strong types because they
+// index directly into contiguous vectors everywhere in the codebase; the distinct aliases
+// keep signatures self-documenting.
+using OperatorId = int32_t;
+using TaskId = int32_t;
+using WorkerId = int32_t;
+using ChannelId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+// The three resource dimensions the CAPS cost model tracks (paper §4.2).
+enum class Resource : int { kCpu = 0, kIo = 1, kNet = 2 };
+
+inline constexpr int kNumResources = 3;
+inline constexpr std::array<Resource, kNumResources> kAllResources = {
+    Resource::kCpu, Resource::kIo, Resource::kNet};
+
+inline const char* ResourceName(Resource r) {
+  switch (r) {
+    case Resource::kCpu:
+      return "cpu";
+    case Resource::kIo:
+      return "io";
+    case Resource::kNet:
+      return "net";
+  }
+  return "?";
+}
+
+// A value per resource dimension. Used for task demands, worker loads, cost vectors
+// (C_cpu, C_io, C_net) and pruning thresholds (alpha vector).
+struct ResourceVector {
+  double cpu = 0.0;
+  double io = 0.0;
+  double net = 0.0;
+
+  double& operator[](Resource r) {
+    switch (r) {
+      case Resource::kCpu:
+        return cpu;
+      case Resource::kIo:
+        return io;
+      case Resource::kNet:
+        return net;
+    }
+    return cpu;
+  }
+  double operator[](Resource r) const {
+    switch (r) {
+      case Resource::kCpu:
+        return cpu;
+      case Resource::kIo:
+        return io;
+      case Resource::kNet:
+        return net;
+    }
+    return cpu;
+  }
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    cpu += o.cpu;
+    io += o.io;
+    net += o.net;
+    return *this;
+  }
+  ResourceVector& operator-=(const ResourceVector& o) {
+    cpu -= o.cpu;
+    io -= o.io;
+    net -= o.net;
+    return *this;
+  }
+  ResourceVector& operator*=(double s) {
+    cpu *= s;
+    io *= s;
+    net *= s;
+    return *this;
+  }
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) { return a += b; }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) { return a -= b; }
+  friend ResourceVector operator*(ResourceVector a, double s) { return a *= s; }
+  friend ResourceVector operator*(double s, ResourceVector a) { return a *= s; }
+  friend bool operator==(const ResourceVector& a, const ResourceVector& b) {
+    return a.cpu == b.cpu && a.io == b.io && a.net == b.net;
+  }
+
+  // True when every component of this vector is <= the corresponding component of `o`.
+  bool AllLeq(const ResourceVector& o) const { return cpu <= o.cpu && io <= o.io && net <= o.net; }
+
+  // Pareto dominance: <= in all dimensions and < in at least one.
+  bool Dominates(const ResourceVector& o) const {
+    return AllLeq(o) && (cpu < o.cpu || io < o.io || net < o.net);
+  }
+
+  double Max() const { return cpu > io ? (cpu > net ? cpu : net) : (io > net ? io : net); }
+  double Sum() const { return cpu + io + net; }
+
+  std::string ToString() const;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_COMMON_TYPES_H_

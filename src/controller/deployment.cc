@@ -1,0 +1,170 @@
+#include "src/controller/deployment.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/baselines/flink_strategies.h"
+#include "src/caps/greedy.h"
+#include "src/common/logging.h"
+#include "src/common/str.h"
+#include "src/dataflow/rates.h"
+
+namespace capsys {
+
+namespace {
+
+// Predicted bottleneck utilization of a plan: per-worker loads normalized by the worker's
+// actual capacities, maximized over workers and dimensions. The cost vector only measures
+// *relative* imbalance per dimension; when choosing among pareto-optimal plans this
+// capacity-aware score identifies which imbalance actually limits throughput.
+double MaxUtilization(const CostModel& model, const Cluster& cluster, const Placement& plan) {
+  auto loads = model.WorkerLoads(plan);
+  double worst = 0.0;
+  for (WorkerId w = 0; w < cluster.num_workers(); ++w) {
+    const auto& spec = cluster.worker(w).spec;
+    const auto& l = loads[static_cast<size_t>(w)];
+    worst = std::max({worst, l.cpu / spec.cpu_capacity, l.io / spec.io_bandwidth_bps,
+                      l.net / spec.net_bandwidth_bps});
+  }
+  return worst;
+}
+
+}  // namespace
+
+const char* PolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kCaps:
+      return "capsys";
+    case PlacementPolicy::kFlinkDefault:
+      return "default";
+    case PlacementPolicy::kFlinkEvenly:
+      return "evenly";
+  }
+  return "?";
+}
+
+double CapsysController::StandaloneTaskRate(const MeasuredCost& cost, const WorkerSpec& spec) {
+  double rate = 1e18;
+  ContentionParams params;
+  if (cost.cpu_per_record > 1e-15) {
+    rate = std::min(rate, params.cores_per_task / cost.cpu_per_record);
+  }
+  if (cost.io_bytes_per_record > 1e-15) {
+    rate = std::min(rate, spec.io_bandwidth_bps / cost.io_bytes_per_record);
+  }
+  if (cost.out_bytes_per_record > 1e-15 && cost.selectivity > 1e-15) {
+    rate = std::min(rate,
+                    spec.net_bandwidth_bps / (cost.out_bytes_per_record * cost.selectivity));
+  }
+  return rate;
+}
+
+Deployment CapsysController::Deploy(const QuerySpec& query) {
+  return DeployGraph(query.graph, query.source_rates);
+}
+
+Deployment CapsysController::DeployGraph(const LogicalGraph& graph,
+                                         const std::map<OperatorId, double>& source_rates) {
+  Deployment d;
+  d.graph = graph;
+  d.source_rates = source_rates;
+
+  // ② Profiling job: per-operator unit costs.
+  d.costs = ProfileOperators(graph, source_rates, cluster_.worker(0).spec, options_.profile);
+
+  // ③ Scaling controller (DS2): parallelism per operator from profiled standalone rates.
+  if (options_.use_ds2_sizing) {
+    std::vector<Ds2Observation> obs(static_cast<size_t>(graph.num_operators()));
+    for (OperatorId o = 0; o < graph.num_operators(); ++o) {
+      obs[static_cast<size_t>(o)].true_rate_per_task =
+          StandaloneTaskRate(d.costs[static_cast<size_t>(o)], cluster_.worker(0).spec);
+    }
+    Ds2Options ds2 = options_.ds2;
+    ds2.max_parallelism = std::min(ds2.max_parallelism, cluster_.slots_per_worker() *
+                                                            cluster_.num_workers());
+    Ds2Decision decision = Ds2Scale(graph, source_rates, obs, ds2);
+    d.graph.SetParallelism(decision.parallelism);
+  }
+
+  // ④ Placement controller.
+  d.physical = PhysicalGraph::Expand(d.graph);
+  CAPSYS_CHECK_MSG(cluster_.total_slots() >= d.physical.num_tasks(),
+                   Sprintf("cluster has %d slots but the query needs %d tasks",
+                           cluster_.total_slots(), d.physical.num_tasks()));
+  auto rates = PropagateRates(d.graph, source_rates);
+  auto demands = DemandsFromMeasuredCosts(d.physical, d.costs, rates);
+  d.placement = Place(d.physical, demands, &d);
+  return d;
+}
+
+Placement CapsysController::Place(const PhysicalGraph& physical,
+                                  const std::vector<ResourceVector>& demands, Deployment* out) {
+  auto start = std::chrono::steady_clock::now();
+  Placement placement;
+  ResourceVector alpha{1.0, 1.0, 1.0};
+  ResourceVector plan_cost;
+  switch (options_.policy) {
+    case PlacementPolicy::kCaps: {
+      CostModel model(physical, cluster_, demands);
+      // Precomputed thresholds for this scaling scenario skip the runtime auto-tuning.
+      std::optional<ResourceVector> cached;
+      if (options_.threshold_cache != nullptr) {
+        std::vector<int> parallelism;
+        for (const auto& op : physical.logical().operators()) {
+          parallelism.push_back(op.parallelism);
+        }
+        cached = options_.threshold_cache->Lookup(parallelism);
+      }
+      if (cached.has_value()) {
+        alpha = *cached;
+      } else {
+        AutoTuneOptions tune = options_.autotune;
+        tune.num_threads = options_.search_threads;
+        AutoTuneResult tuned = AutoTuneThresholds(model, tune);
+        alpha = tuned.feasible ? tuned.alpha : ResourceVector{1.0, 1.0, 1.0};
+      }
+      SearchOptions search_options;
+      search_options.alpha = alpha;
+      search_options.num_threads = options_.search_threads;
+      search_options.timeout_s = options_.search_timeout_s;
+      search_options.find_first = physical.num_tasks() > options_.find_first_above_tasks;
+      SearchResult result = CapsSearch(model, search_options).Run();
+      // Choose among the pareto front plus a greedy incumbent (which guards against
+      // over-relaxed thresholds and search timeouts on large instances) by the predicted
+      // bottleneck utilization, tie-broken by the scalarized cost.
+      std::vector<ScoredPlan> candidates = std::move(result.pareto);
+      Placement greedy = GreedyBalancedPlacement(model);
+      candidates.push_back(ScoredPlan{greedy, model.Cost(greedy)});
+      size_t best = 0;
+      double best_util = 1e300;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        double util = MaxUtilization(model, cluster_, candidates[i].placement);
+        if (util < best_util - 1e-9 ||
+            (util < best_util + 1e-9 && BetterCost(candidates[i].cost, candidates[best].cost))) {
+          best = i;
+          best_util = util;
+        }
+      }
+      placement = candidates[best].placement;
+      plan_cost = candidates[best].cost;
+      break;
+    }
+    case PlacementPolicy::kFlinkDefault:
+      placement = FlinkDefaultPlacement(physical, cluster_, rng_);
+      break;
+    case PlacementPolicy::kFlinkEvenly:
+      placement = FlinkEvenlyPlacement(physical, cluster_, rng_);
+      break;
+  }
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (out != nullptr) {
+    out->alpha = alpha;
+    out->plan_cost = plan_cost;
+    out->decision_time_s = elapsed;
+  }
+  return placement;
+}
+
+}  // namespace capsys

@@ -1,0 +1,90 @@
+// CAPSys deployment pipeline (paper §5.1, Figure 6): profile the query, let DS2 size
+// operator parallelism, compute a placement with the selected policy, and hand the plan to
+// the runtime (here: the fluid simulator).
+#ifndef SRC_CONTROLLER_DEPLOYMENT_H_
+#define SRC_CONTROLLER_DEPLOYMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/caps/auto_tuner.h"
+#include "src/caps/search.h"
+#include "src/caps/threshold_cache.h"
+#include "src/common/rng.h"
+#include "src/controller/ds2.h"
+#include "src/controller/profiler.h"
+#include "src/nexmark/queries.h"
+#include "src/simulator/fluid_simulator.h"
+
+namespace capsys {
+
+enum class PlacementPolicy : int { kCaps = 0, kFlinkDefault = 1, kFlinkEvenly = 2 };
+
+const char* PolicyName(PlacementPolicy policy);
+
+struct DeployOptions {
+  PlacementPolicy policy = PlacementPolicy::kCaps;
+  // Size parallelism with DS2 from the profiled costs; when false, the query's configured
+  // parallelism is kept (the motivation-study setups fix parallelism explicitly).
+  bool use_ds2_sizing = false;
+  int search_threads = 2;
+  // Budget for the placement search. Large instances use find-first mode (the paper's
+  // online mode: the first plan satisfying the auto-tuned thresholds); smaller instances
+  // explore within the budget and return the pareto-best plan.
+  double search_timeout_s = 3.0;
+  int find_first_above_tasks = 48;
+  AutoTuneOptions autotune;
+  ProfileOptions profile;
+  Ds2Options ds2;
+  uint64_t seed = 1;  // randomness for the Flink baseline policies
+  // Optional precomputed thresholds (paper §5.2): when set and the current parallelism
+  // vector is cached, the runtime auto-tuning step is skipped. Not owned.
+  const ThresholdCache* threshold_cache = nullptr;
+};
+
+struct Deployment {
+  LogicalGraph graph;  // final parallelism
+  std::map<OperatorId, double> source_rates;
+  PhysicalGraph physical;
+  Placement placement;
+  std::vector<MeasuredCost> costs;  // profiled unit costs
+  ResourceVector alpha;             // auto-tuned thresholds (CAPS only)
+  ResourceVector plan_cost;         // CAPS cost vector of the chosen plan
+  double decision_time_s = 0.0;     // placement computation incl. auto-tuning
+};
+
+class CapsysController {
+ public:
+  CapsysController(Cluster cluster, DeployOptions options)
+      : cluster_(std::move(cluster)), options_(std::move(options)), rng_(options_.seed) {}
+
+  // Full pipeline on a query spec.
+  Deployment Deploy(const QuerySpec& query);
+
+  // Pipeline on an explicit graph + rates (used by the multi-tenant experiment, which
+  // merges all queries into one graph).
+  Deployment DeployGraph(const LogicalGraph& graph,
+                         const std::map<OperatorId, double>& source_rates);
+
+  // Placement only, for an already-expanded graph with known demands. Returns the plan and
+  // fills `alpha`/`plan_cost`/`decision_time_s` of `out` when non-null.
+  Placement Place(const PhysicalGraph& physical, const std::vector<ResourceVector>& demands,
+                  Deployment* out);
+
+  // Standalone (uncontended) records/s one task of an operator with the given measured
+  // costs sustains on `spec` — the per-task capacity DS2 sizes against after profiling.
+  static double StandaloneTaskRate(const MeasuredCost& cost, const WorkerSpec& spec);
+
+  const Cluster& cluster() const { return cluster_; }
+  DeployOptions& options() { return options_; }
+
+ private:
+  Cluster cluster_;
+  DeployOptions options_;
+  Rng rng_;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_CONTROLLER_DEPLOYMENT_H_

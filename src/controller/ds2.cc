@@ -1,0 +1,65 @@
+#include "src/controller/ds2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+
+namespace capsys {
+
+std::string Ds2Decision::ToString() const {
+  std::vector<std::string> parts;
+  for (int p : parallelism) {
+    parts.push_back(Sprintf("%d", p));
+  }
+  return Sprintf("[%s]%s", Join(parts, ",").c_str(), changed ? " (changed)" : "");
+}
+
+Ds2Decision Ds2Scale(const LogicalGraph& graph,
+                     const std::map<OperatorId, double>& target_source_rates,
+                     const std::vector<Ds2Observation>& observations,
+                     const Ds2Options& options) {
+  CAPSYS_CHECK(observations.size() == static_cast<size_t>(graph.num_operators()));
+  Ds2Decision decision;
+  decision.parallelism.resize(static_cast<size_t>(graph.num_operators()), 1);
+
+  // Propagate target rates in topological order, using *observed* selectivities where
+  // available (falling back to the declared profile when an operator processed nothing).
+  std::vector<double> target_in(static_cast<size_t>(graph.num_operators()), 0.0);
+  std::vector<double> target_out(static_cast<size_t>(graph.num_operators()), 0.0);
+  for (OperatorId id : graph.TopologicalOrder()) {
+    const auto& op = graph.op(id);
+    const auto& obs = observations[static_cast<size_t>(id)];
+    double in = 0.0;
+    if (graph.Upstreams(id).empty()) {
+      auto it = target_source_rates.find(id);
+      in = it != target_source_rates.end() ? it->second : 0.0;
+    } else {
+      for (OperatorId up : graph.Upstreams(id)) {
+        in += target_out[static_cast<size_t>(up)];
+      }
+    }
+    double selectivity = op.profile.selectivity;
+    if (obs.observed_input_rate > 1e-9) {
+      selectivity = obs.observed_output_rate / obs.observed_input_rate;
+    }
+    target_in[static_cast<size_t>(id)] = in;
+    target_out[static_cast<size_t>(id)] = in * selectivity;
+
+    // Sources "process" their generation target; all operators size identically.
+    double true_rate = obs.true_rate_per_task;
+    int p = op.parallelism;
+    if (true_rate > 1e-9 && in > 1e-9) {
+      p = static_cast<int>(std::ceil(in * options.headroom / true_rate));
+    }
+    p = std::clamp(p, options.min_parallelism, options.max_parallelism);
+    decision.parallelism[static_cast<size_t>(id)] = p;
+    if (p != op.parallelism) {
+      decision.changed = true;
+    }
+  }
+  return decision;
+}
+
+}  // namespace capsys

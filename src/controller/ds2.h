@@ -1,0 +1,54 @@
+// DS2 auto-scaling model (Kalavri et al., OSDI'18 [30]) — the scaling controller CAPSys
+// couples with (paper §5.1 step ③).
+//
+// DS2 computes, for each operator, the *true processing rate* of its tasks (the rate a task
+// sustains while it is doing useful work), propagates target rates through the dataflow
+// using observed selectivities, and sets the operator's parallelism to
+//     p_o = ceil(target input rate of o / true rate per task of o).
+// When the placement is contended, measured true rates underestimate task capacity, which
+// is exactly how bad placements mislead DS2 into overshooting (paper §6.4).
+#ifndef SRC_CONTROLLER_DS2_H_
+#define SRC_CONTROLLER_DS2_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dataflow/logical_graph.h"
+
+namespace capsys {
+
+// Per-operator measurements DS2 consumes, typically extracted from a FluidSimulator window.
+struct Ds2Observation {
+  double true_rate_per_task = 0.0;  // records/s one task can process under current placement
+  double observed_input_rate = 0.0;
+  double observed_output_rate = 0.0;
+};
+
+struct Ds2Options {
+  // Safety margin on computed parallelism (1.0 = exactly the model's answer).
+  double headroom = 1.0;
+  // Parallelism bounds per operator.
+  int min_parallelism = 1;
+  int max_parallelism = 64;
+};
+
+// Result of one DS2 evaluation.
+struct Ds2Decision {
+  std::vector<int> parallelism;  // per operator
+  bool changed = false;          // differs from the graph's current parallelism
+
+  std::string ToString() const;
+};
+
+// Runs the DS2 model. `observations` is indexed by OperatorId. Source operators keep their
+// current parallelism unless their true rate cannot sustain the target, in which case they
+// are scaled like any other operator.
+Ds2Decision Ds2Scale(const LogicalGraph& graph,
+                     const std::map<OperatorId, double>& target_source_rates,
+                     const std::vector<Ds2Observation>& observations,
+                     const Ds2Options& options = {});
+
+}  // namespace capsys
+
+#endif  // SRC_CONTROLLER_DS2_H_

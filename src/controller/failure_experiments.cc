@@ -1,0 +1,123 @@
+#include "src/controller/failure_experiments.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+#include "src/dataflow/rates.h"
+
+namespace capsys {
+
+std::string FailureRun::ToString() const {
+  return Sprintf("victim=w%d before=%.0f during=%.0f after=%.0f recovery=%.1fs%s", victim,
+                 throughput_before, throughput_during, throughput_after, recovery_time_s,
+                 recovered ? "" : " NOT_RECOVERED");
+}
+
+FailureRun RunFailureRecoveryExperiment(const QuerySpec& query, const Cluster& cluster,
+                                        const FailureExperimentOptions& options) {
+  FailureRun run;
+  double target = query.TotalTargetRate();
+
+  // --- Initial deployment -------------------------------------------------------------------
+  DeployOptions deploy_options;
+  deploy_options.policy = options.policy;
+  deploy_options.use_ds2_sizing = true;
+  deploy_options.search_threads = options.search_threads;
+  deploy_options.seed = options.seed;
+  CapsysController controller(cluster, deploy_options);
+  Deployment d = controller.Deploy(query);
+
+  // Victim: the worker hosting the most tasks.
+  auto load = d.placement.LoadByWorker(cluster);
+  run.victim = 0;
+  for (WorkerId w = 1; w < cluster.num_workers(); ++w) {
+    if (load[static_cast<size_t>(w)] > load[static_cast<size_t>(run.victim)]) {
+      run.victim = w;
+    }
+  }
+  int surviving_slots = cluster.total_slots() - cluster.worker(run.victim).spec.slots;
+  CAPSYS_CHECK_MSG(surviving_slots >= d.physical.num_tasks(),
+                   "surviving cluster cannot host the query");
+
+  auto sim = std::make_unique<FluidSimulator>(d.physical, cluster, d.placement, options.sim);
+  for (const auto& [op, r] : d.source_rates) {
+    sim->SetSourceRate(op, r);
+  }
+
+  double global_offset = 0.0;
+  auto sample = [&](double step_s) {
+    sim->RunFor(step_s);
+    double now_local = sim->time_s();
+    run.timeline.push_back(TimelinePoint{
+        .time_s = global_offset + now_local,
+        .target_rate = target,
+        .throughput = sim->Summarize(now_local - step_s, now_local).throughput,
+        .slots = d.physical.num_tasks()});
+  };
+
+  // --- Phase 1: healthy ----------------------------------------------------------------------
+  while (global_offset + sim->time_s() + 5.0 <= options.fail_at_s) {
+    sample(5.0);
+  }
+  {
+    double t = sim->time_s();
+    run.throughput_before = sim->Summarize(std::max(0.0, t - 30.0), t).throughput;
+  }
+
+  // --- Phase 2: failure until detection -------------------------------------------------------
+  sim->FailWorker(run.victim);
+  double fail_time = global_offset + sim->time_s();
+  while (global_offset + sim->time_s() + 5.0 <= options.fail_at_s + options.detection_delay_s) {
+    sample(5.0);
+  }
+  {
+    double t = sim->time_s();
+    run.throughput_during =
+        sim->Summarize(std::max(0.0, t - options.detection_delay_s), t).throughput;
+  }
+
+  // --- Phase 3: re-place on the surviving workers and redeploy -------------------------------
+  // The controller sees a reduced cluster; worker ids are remapped around the victim.
+  std::vector<WorkerSpec> surviving;
+  std::vector<WorkerId> to_global;
+  for (WorkerId w = 0; w < cluster.num_workers(); ++w) {
+    if (w != run.victim) {
+      surviving.push_back(cluster.worker(w).spec);
+      to_global.push_back(w);
+    }
+  }
+  Cluster reduced(std::move(surviving));
+  CapsysController recovery_controller(reduced, deploy_options);
+  auto rates = PropagateRates(d.graph, d.source_rates);
+  auto demands = DemandsFromMeasuredCosts(d.physical, d.costs, rates);
+  Placement reduced_plan = recovery_controller.Place(d.physical, demands, nullptr);
+  Placement global_plan(d.physical.num_tasks());
+  for (TaskId t = 0; t < d.physical.num_tasks(); ++t) {
+    global_plan.Assign(t, to_global[static_cast<size_t>(reduced_plan.WorkerOf(t))]);
+  }
+
+  global_offset += sim->time_s();
+  sim = std::make_unique<FluidSimulator>(d.physical, cluster, global_plan, options.sim);
+  for (const auto& [op, r] : d.source_rates) {
+    sim->SetSourceRate(op, r);
+  }
+
+  // --- Phase 4: recovery ----------------------------------------------------------------------
+  while (global_offset + sim->time_s() + 5.0 <= options.run_s) {
+    sample(5.0);
+    if (!run.recovered &&
+        run.timeline.back().throughput >= options.target_fraction * target) {
+      run.recovered = true;
+      run.recovery_time_s = run.timeline.back().time_s - fail_time;
+    }
+  }
+  {
+    double t = sim->time_s();
+    run.throughput_after = sim->Summarize(std::max(0.0, t - 30.0), t).throughput;
+  }
+  return run;
+}
+
+}  // namespace capsys

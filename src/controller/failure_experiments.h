@@ -1,0 +1,48 @@
+// Failure-injection experiment driver (robustness extension): kill a worker mid-run, let
+// the controller detect the failure and re-place the query on the surviving workers, and
+// measure the recovery. Exercises the same reconfiguration path as auto-scaling (§5.1 ⑤),
+// triggered by node loss instead of a rate change.
+#ifndef SRC_CONTROLLER_FAILURE_EXPERIMENTS_H_
+#define SRC_CONTROLLER_FAILURE_EXPERIMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/controller/scaling_experiments.h"
+
+namespace capsys {
+
+struct FailureExperimentOptions {
+  PlacementPolicy policy = PlacementPolicy::kCaps;
+  double fail_at_s = 120.0;         // when the victim worker dies
+  double detection_delay_s = 10.0;  // heartbeat timeout before the controller reacts
+  double run_s = 360.0;             // total experiment duration
+  double target_fraction = 0.95;
+  int search_threads = 2;
+  uint64_t seed = 1;
+  SimConfig sim;
+};
+
+struct FailureRun {
+  std::vector<TimelinePoint> timeline;  // sampled every 5 s
+  WorkerId victim = kInvalidId;
+  double throughput_before = 0.0;  // steady state before the failure
+  double throughput_during = 0.0;  // between failure and re-placement
+  double throughput_after = 0.0;   // steady state after recovery
+  // Time from the failure instant until throughput is back above target_fraction x target;
+  // negative when the query never recovers within the run.
+  double recovery_time_s = -1.0;
+  bool recovered = false;
+
+  std::string ToString() const;
+};
+
+// Runs the experiment. The victim is the worker hosting the most tasks under the initial
+// placement (worst case). The surviving cluster must still have enough slots for the
+// query's tasks; the driver CHECKs this.
+FailureRun RunFailureRecoveryExperiment(const QuerySpec& query, const Cluster& cluster,
+                                        const FailureExperimentOptions& options);
+
+}  // namespace capsys
+
+#endif  // SRC_CONTROLLER_FAILURE_EXPERIMENTS_H_

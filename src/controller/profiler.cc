@@ -1,0 +1,135 @@
+#include "src/controller/profiler.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/dataflow/rates.h"
+
+namespace capsys {
+
+std::vector<MeasuredCost> ProfileOperators(const LogicalGraph& graph,
+                                           const std::map<OperatorId, double>& source_rates,
+                                           const WorkerSpec& worker_spec,
+                                           const ProfileOptions& options) {
+  // Deploy each operator's tasks on their own dedicated worker: one worker per operator,
+  // sized to hold the operator's full parallelism. All channels are then cross-worker, so
+  // emitted bytes appear 1:1 as NIC traffic.
+  int num_ops = graph.num_operators();
+  int max_par = 1;
+  for (const auto& op : graph.operators()) {
+    max_par = std::max(max_par, op.parallelism);
+  }
+  WorkerSpec spec = worker_spec;
+  spec.slots = max_par;
+  Cluster cluster(num_ops, spec);
+
+  PhysicalGraph physical = PhysicalGraph::Expand(graph);
+  Placement placement(physical.num_tasks());
+  for (const auto& t : physical.tasks()) {
+    placement.Assign(t.id, t.op);  // worker id == operator id
+  }
+
+  // Run at a low rate so no operator saturates its (single-worker) deployment; if sources
+  // get throttled anyway — e.g. a wide stateful operator whose tasks contend with each
+  // other on the profiling worker — back off and retry so measured unit costs reflect
+  // uncontended behaviour.
+  double fraction = options.rate_fraction;
+  double from = 0.0;
+  double to = 0.0;
+  std::unique_ptr<FluidSimulator> sim;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    sim = std::make_unique<FluidSimulator>(physical, cluster, placement, options.sim);
+    double requested = 0.0;
+    for (const auto& [op, rate] : source_rates) {
+      sim->SetSourceRate(op, rate * fraction);
+      requested += rate * fraction;
+    }
+    sim->RunFor(options.warmup_s);
+    from = sim->time_s();
+    sim->RunFor(options.measure_s);
+    to = sim->time_s();
+    double emitted = sim->Summarize(from, to).throughput;
+    if (requested <= 0.0 || emitted >= 0.97 * requested) {
+      break;
+    }
+    fraction *= 0.5;
+  }
+
+  std::vector<MeasuredCost> costs(static_cast<size_t>(num_ops));
+  for (OperatorId o = 0; o < num_ops; ++o) {
+    double in_rate = sim->OperatorInputRate(o, from, to);
+    double out_rate = sim->OperatorOutputRate(o, from, to);
+    auto& c = costs[static_cast<size_t>(o)];
+    if (in_rate < 1e-9) {
+      // Operator processed nothing during profiling; fall back to declared costs.
+      const auto& p = graph.op(o).profile;
+      c.cpu_per_record = p.cpu_per_record;
+      c.io_bytes_per_record = p.io_bytes_per_record;
+      c.out_bytes_per_record = p.out_bytes_per_record;
+      c.selectivity = p.selectivity;
+      continue;
+    }
+    WorkerId w = o;  // dedicated worker
+    double cpu_used = sim->metrics().MeanSinceOr(WorkerMetric(w, "cpu_used"), from, 0.0);
+    double io_bps = sim->metrics().MeanSinceOr(WorkerMetric(w, "io_bps"), from, 0.0);
+    double net_bps = sim->metrics().MeanSinceOr(WorkerMetric(w, "net_bps"), from, 0.0);
+    c.cpu_per_record = cpu_used / in_rate;
+    c.io_bytes_per_record = io_bps / in_rate;
+    c.out_bytes_per_record = out_rate > 1e-9 ? net_bps / out_rate : 0.0;
+    c.selectivity = out_rate / in_rate;
+  }
+  return costs;
+}
+
+std::vector<MeasuredCost> EstimateCostsOnline(const FluidSimulator& sim, double from_s,
+                                              double to_s,
+                                              const std::vector<MeasuredCost>& previous) {
+  int num_ops = sim.graph().logical().num_operators();
+  CAPSYS_CHECK(previous.size() == static_cast<size_t>(num_ops));
+  std::vector<MeasuredCost> costs = previous;
+  for (OperatorId o = 0; o < num_ops; ++o) {
+    double in_rate = sim.OperatorInputRate(o, from_s, to_s);
+    double out_rate = sim.OperatorOutputRate(o, from_s, to_s);
+    if (in_rate < 1e-9) {
+      continue;  // no observations in the window; keep the previous estimate
+    }
+    auto& c = costs[static_cast<size_t>(o)];
+    double cpu = sim.metrics().MeanSinceOr(OperatorMetric(o, "cpu_used"), from_s, -1.0);
+    double io = sim.metrics().MeanSinceOr(OperatorMetric(o, "io_bps"), from_s, -1.0);
+    double net = sim.metrics().MeanSinceOr(OperatorMetric(o, "net_bps"), from_s, -1.0);
+    if (cpu >= 0.0) {
+      c.cpu_per_record = cpu / in_rate;
+    }
+    if (io >= 0.0) {
+      c.io_bytes_per_record = io / in_rate;
+    }
+    if (net >= 0.0 && out_rate > 1e-9) {
+      c.out_bytes_per_record = net / out_rate;
+    }
+    c.selectivity = out_rate / in_rate;
+  }
+  return costs;
+}
+
+std::vector<ResourceVector> DemandsFromMeasuredCosts(const PhysicalGraph& graph,
+                                                     const std::vector<MeasuredCost>& costs,
+                                                     const std::vector<OperatorRates>& rates) {
+  CAPSYS_CHECK(costs.size() == static_cast<size_t>(graph.num_operators()));
+  CAPSYS_CHECK(rates.size() == static_cast<size_t>(graph.num_operators()));
+  std::vector<ResourceVector> demands(static_cast<size_t>(graph.num_tasks()));
+  for (const auto& t : graph.tasks()) {
+    const auto& op = graph.logical().op(t.op);
+    const auto& c = costs[static_cast<size_t>(t.op)];
+    const auto& r = rates[static_cast<size_t>(t.op)];
+    double per_task_in = r.input_rate / op.parallelism;
+    double per_task_out = r.output_rate / op.parallelism;
+    auto& d = demands[static_cast<size_t>(t.id)];
+    d.cpu = per_task_in * c.cpu_per_record;
+    d.io = per_task_in * c.io_bytes_per_record;
+    d.net = per_task_out * c.out_bytes_per_record;
+  }
+  return demands;
+}
+
+}  // namespace capsys

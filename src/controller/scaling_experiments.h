@@ -1,0 +1,73 @@
+// Variable-workload experiment drivers (paper §6.4): run a query under a schedule of target
+// rates with DS2 deciding when to rescale, and the selected placement policy computing each
+// new plan. Produces the data behind Table 4 (auto-scaling accuracy) and Figure 9
+// (auto-scaling convergence).
+#ifndef SRC_CONTROLLER_SCALING_EXPERIMENTS_H_
+#define SRC_CONTROLLER_SCALING_EXPERIMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/controller/deployment.h"
+
+namespace capsys {
+
+struct ScalingExperimentOptions {
+  PlacementPolicy policy = PlacementPolicy::kCaps;
+  // DS2 controller timing (paper: activation 90 s, policy interval 5 s).
+  double activation_time_s = 90.0;
+  double policy_interval_s = 5.0;
+  // Metrics window DS2 evaluates over.
+  double metrics_window_s = 30.0;
+  // Duration of each rate step (paper: 600 s / 1200 s; shorter values keep benches fast —
+  // the fluid model reaches steady state within ~30 s).
+  double step_duration_s = 240.0;
+  // Start from the manually tuned optimal configuration (Table 4) instead of parallelism 1
+  // with the policy's own initial plan (Figure 9).
+  bool start_optimal = true;
+  // Fraction of the target a step must reach to count as "met".
+  double target_fraction = 0.95;
+  // Downtime per reconfiguration: sources stay blocked while the job restarts from its
+  // checkpoint and state is restored (makes extra scaling decisions costly, as on Flink).
+  double reconfigure_downtime_s = 5.0;
+  int search_threads = 2;
+  uint64_t seed = 1;
+  SimConfig sim;
+  Ds2Options ds2;
+};
+
+struct TimelinePoint {
+  double time_s = 0.0;
+  double target_rate = 0.0;
+  double throughput = 0.0;
+  int slots = 0;
+};
+
+struct StepEval {
+  double target_rate = 0.0;
+  double throughput = 0.0;     // mean over the step's final window
+  int slots = 0;               // slots in use at the end of the step
+  int min_slots = 0;           // ground-truth minimal slots for the target
+  bool met_target = false;     // Table 4 "Throughput" column
+  bool overprovisioned = false;  // Table 4 "Resources" column (X when over)
+  int scaling_decisions = 0;   // decisions taken during this step
+
+  std::string ToString() const;
+};
+
+struct ScalingRun {
+  std::vector<TimelinePoint> timeline;      // sampled every policy interval
+  std::vector<double> decision_times_s;     // when reconfigurations happened
+  std::vector<StepEval> steps;
+  int total_decisions = 0;
+};
+
+// Runs the experiment: `rate_steps` gives the target source rate (scaled per source by its
+// share in `query.source_rates`) for each consecutive step.
+ScalingRun RunScalingExperiment(const QuerySpec& query, const Cluster& cluster,
+                                const std::vector<double>& rate_steps,
+                                const ScalingExperimentOptions& options);
+
+}  // namespace capsys
+
+#endif  // SRC_CONTROLLER_SCALING_EXPERIMENTS_H_

@@ -1,0 +1,72 @@
+// Logical operator descriptors for streaming dataflow queries (paper §2.1).
+#ifndef SRC_DATAFLOW_OPERATOR_H_
+#define SRC_DATAFLOW_OPERATOR_H_
+
+#include <string>
+
+#include "src/common/types.h"
+
+namespace capsys {
+
+// Kinds of operators appearing in the evaluation queries. The kind determines default
+// resource behaviour (e.g. windows/joins are stateful and I/O heavy, inference is compute
+// heavy with large records) but all costs are carried explicitly in OperatorProfile so
+// profiling can override them.
+enum class OperatorKind : int {
+  kSource,
+  kMap,
+  kFilter,
+  kSlidingWindow,
+  kTumblingWindowJoin,
+  kIncrementalJoin,
+  kSessionWindow,
+  kAggregate,
+  kProcessFunction,
+  kInference,
+  kSink,
+};
+
+const char* OperatorKindName(OperatorKind kind);
+
+// Per-record resource requirements of one operator, i.e. the unit costs the CAPSys cost
+// profiler measures (paper §5.1 "Cost profiling"): CPU-seconds, state-backend bytes
+// (read+write), and emitted bytes per processed record, plus selectivity (output records
+// per input record).
+struct OperatorProfile {
+  double cpu_per_record = 1e-5;    // CPU-seconds consumed per input record.
+  double io_bytes_per_record = 0;  // State backend read+write bytes per input record.
+  double out_bytes_per_record = 100;  // Bytes emitted per *output* record (record size).
+  double selectivity = 1.0;           // Output records per input record.
+  bool stateful = false;              // Accesses the state backend.
+  // Fraction of CPU time subject to GC-style periodic spikes (Q3-inf inference behaviour).
+  double gc_spike_fraction = 0.0;
+};
+
+// A logical operator: processing logic replicated into `parallelism` identical tasks.
+struct LogicalOperator {
+  OperatorId id = kInvalidId;
+  std::string name;
+  OperatorKind kind = OperatorKind::kMap;
+  int parallelism = 1;
+  OperatorProfile profile;
+};
+
+// How an upstream operator's output is partitioned across downstream tasks.
+enum class PartitionScheme : int {
+  kForward,    // one-to-one; requires equal parallelism on both ends
+  kHash,       // key-partitioned; every upstream task connects to every downstream task
+  kRebalance,  // round-robin; all-to-all connectivity
+};
+
+const char* PartitionSchemeName(PartitionScheme scheme);
+
+// A logical data stream between two operators.
+struct LogicalEdge {
+  OperatorId from = kInvalidId;
+  OperatorId to = kInvalidId;
+  PartitionScheme scheme = PartitionScheme::kHash;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_DATAFLOW_OPERATOR_H_

@@ -1,0 +1,63 @@
+#include "src/dataflow/physical_graph.h"
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+
+namespace capsys {
+
+PhysicalGraph PhysicalGraph::Expand(const LogicalGraph& logical) {
+  std::string err = logical.Validate();
+  CAPSYS_CHECK_MSG(err.empty(), err);
+
+  PhysicalGraph g;
+  g.logical_ = logical;
+  g.tasks_by_op_.resize(static_cast<size_t>(logical.num_operators()));
+  for (const auto& op : logical.operators()) {
+    for (int i = 0; i < op.parallelism; ++i) {
+      Task t;
+      t.id = static_cast<TaskId>(g.tasks_.size());
+      t.op = op.id;
+      t.index = i;
+      g.tasks_.push_back(t);
+      g.tasks_by_op_[static_cast<size_t>(op.id)].push_back(t.id);
+    }
+  }
+  g.out_channels_.resize(g.tasks_.size());
+  g.in_channels_.resize(g.tasks_.size());
+
+  auto add_channel = [&g](TaskId from, TaskId to, PartitionScheme scheme) {
+    Channel c;
+    c.id = static_cast<ChannelId>(g.channels_.size());
+    c.from = from;
+    c.to = to;
+    c.scheme = scheme;
+    g.channels_.push_back(c);
+    g.out_channels_[static_cast<size_t>(from)].push_back(c.id);
+    g.in_channels_[static_cast<size_t>(to)].push_back(c.id);
+  };
+
+  for (const auto& e : logical.edges()) {
+    const auto& ups = g.tasks_by_op_[static_cast<size_t>(e.from)];
+    const auto& downs = g.tasks_by_op_[static_cast<size_t>(e.to)];
+    if (e.scheme == PartitionScheme::kForward) {
+      CAPSYS_CHECK(ups.size() == downs.size());
+      for (size_t i = 0; i < ups.size(); ++i) {
+        add_channel(ups[i], downs[i], e.scheme);
+      }
+    } else {
+      for (TaskId u : ups) {
+        for (TaskId d : downs) {
+          add_channel(u, d, e.scheme);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::string PhysicalGraph::ToString() const {
+  return Sprintf("%s: %d tasks, %d channels", logical_.name().c_str(), num_tasks(),
+                 num_channels());
+}
+
+}  // namespace capsys

@@ -1,0 +1,75 @@
+// Physical execution graph G_p = (V_p, E_p): each logical operator is replicated into
+// `parallelism` tasks and each data stream into physical channels (paper §2.1, Table 1).
+#ifndef SRC_DATAFLOW_PHYSICAL_GRAPH_H_
+#define SRC_DATAFLOW_PHYSICAL_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dataflow/logical_graph.h"
+
+namespace capsys {
+
+// One streaming task t in V_p. Tasks of the same operator are identical (the model
+// assumption of §4.1; skew is handled upstream of placement).
+struct Task {
+  TaskId id = kInvalidId;
+  OperatorId op = kInvalidId;
+  int index = 0;  // Subtask index within the operator, [0, parallelism).
+};
+
+// One physical data link l in E_p connecting an upstream task to a downstream task.
+struct Channel {
+  ChannelId id = kInvalidId;
+  TaskId from = kInvalidId;
+  TaskId to = kInvalidId;
+  PartitionScheme scheme = PartitionScheme::kHash;
+};
+
+class PhysicalGraph {
+ public:
+  PhysicalGraph() = default;
+
+  // Expands the logical graph according to each operator's current parallelism. Forward
+  // edges become one-to-one channels; hash/rebalance edges become all-to-all channels.
+  static PhysicalGraph Expand(const LogicalGraph& logical);
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+  int num_operators() const { return static_cast<int>(tasks_by_op_.size()); }
+
+  const Task& task(TaskId id) const { return tasks_[static_cast<size_t>(id)]; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const Channel& channel(ChannelId id) const { return channels_[static_cast<size_t>(id)]; }
+  const std::vector<Channel>& channels() const { return channels_; }
+
+  // Tasks belonging to one logical operator, in subtask-index order.
+  const std::vector<TaskId>& TasksOf(OperatorId op) const {
+    return tasks_by_op_[static_cast<size_t>(op)];
+  }
+
+  // D(t): downstream physical channels originating from task t (Table 1). Empty for sinks.
+  const std::vector<ChannelId>& DownstreamChannels(TaskId t) const {
+    return out_channels_[static_cast<size_t>(t)];
+  }
+  const std::vector<ChannelId>& UpstreamChannels(TaskId t) const {
+    return in_channels_[static_cast<size_t>(t)];
+  }
+
+  const LogicalGraph& logical() const { return logical_; }
+
+  std::string ToString() const;
+
+ private:
+  LogicalGraph logical_;
+  std::vector<Task> tasks_;
+  std::vector<Channel> channels_;
+  std::vector<std::vector<TaskId>> tasks_by_op_;
+  std::vector<std::vector<ChannelId>> out_channels_;
+  std::vector<std::vector<ChannelId>> in_channels_;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_DATAFLOW_PHYSICAL_GRAPH_H_

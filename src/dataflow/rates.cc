@@ -1,0 +1,58 @@
+#include "src/dataflow/rates.h"
+
+#include "src/common/logging.h"
+
+namespace capsys {
+
+std::vector<OperatorRates> PropagateRates(const LogicalGraph& graph,
+                                          const std::map<OperatorId, double>& source_rates) {
+  std::vector<OperatorRates> rates(static_cast<size_t>(graph.num_operators()));
+  for (OperatorId id : graph.TopologicalOrder()) {
+    const auto& op = graph.op(id);
+    auto& r = rates[static_cast<size_t>(id)];
+    if (graph.Upstreams(id).empty()) {
+      auto it = source_rates.find(id);
+      r.input_rate = it != source_rates.end() ? it->second : 0.0;
+    } else {
+      double in = 0.0;
+      for (OperatorId up : graph.Upstreams(id)) {
+        in += rates[static_cast<size_t>(up)].output_rate;
+      }
+      r.input_rate = in;
+    }
+    r.output_rate = r.input_rate * op.profile.selectivity;
+  }
+  return rates;
+}
+
+std::vector<OperatorRates> PropagateRates(const LogicalGraph& graph, double source_rate) {
+  std::map<OperatorId, double> source_rates;
+  for (OperatorId id : graph.SourceIds()) {
+    source_rates[id] = source_rate;
+  }
+  return PropagateRates(graph, source_rates);
+}
+
+ResourceVector TaskDemand(const LogicalOperator& op, const OperatorRates& rates) {
+  CAPSYS_CHECK(op.parallelism >= 1);
+  double per_task_in = rates.input_rate / op.parallelism;
+  double per_task_out = rates.output_rate / op.parallelism;
+  ResourceVector demand;
+  demand.cpu = per_task_in * op.profile.cpu_per_record;
+  demand.io = per_task_in * op.profile.io_bytes_per_record;
+  demand.net = per_task_out * op.profile.out_bytes_per_record;
+  return demand;
+}
+
+std::vector<ResourceVector> TaskDemands(const PhysicalGraph& graph,
+                                        const std::vector<OperatorRates>& rates) {
+  CAPSYS_CHECK(rates.size() == static_cast<size_t>(graph.num_operators()));
+  std::vector<ResourceVector> demands(static_cast<size_t>(graph.num_tasks()));
+  for (const auto& t : graph.tasks()) {
+    const auto& op = graph.logical().op(t.op);
+    demands[static_cast<size_t>(t.id)] = TaskDemand(op, rates[static_cast<size_t>(t.op)]);
+  }
+  return demands;
+}
+
+}  // namespace capsys

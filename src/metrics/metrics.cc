@@ -1,0 +1,87 @@
+#include "src/metrics/metrics.h"
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+
+namespace capsys {
+
+void TimeSeries::Record(double time_s, double value) {
+  points_.push_back(Point{.time_s = time_s, .value = value});
+}
+
+double TimeSeries::Last() const {
+  CAPSYS_CHECK(!points_.empty());
+  return points_.back().value;
+}
+
+double TimeSeries::LastTime() const {
+  CAPSYS_CHECK(!points_.empty());
+  return points_.back().time_s;
+}
+
+double TimeSeries::MeanOver(double from_s, double to_s) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.time_s >= from_s && p.time_s <= to_s) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+void MetricsRegistry::Record(const std::string& name, double time_s, double value) {
+  series_[name].Record(time_s, value);
+}
+
+TimeSeries& MetricsRegistry::Series(const std::string& name) { return series_[name]; }
+
+const TimeSeries* MetricsRegistry::Find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it != series_.end() ? &it->second : nullptr;
+}
+
+double MetricsRegistry::LastOr(const std::string& name, double fallback) const {
+  const TimeSeries* ts = Find(name);
+  return (ts != nullptr && !ts->Empty()) ? ts->Last() : fallback;
+}
+
+double MetricsRegistry::MeanSinceOr(const std::string& name, double from_s,
+                                    double fallback) const {
+  const TimeSeries* ts = Find(name);
+  if (ts == nullptr || ts->Empty()) {
+    return fallback;
+  }
+  double mean = ts->MeanSince(from_s);
+  return ts->Count() > 0 ? mean : fallback;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, ts] : series_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void MetricsRegistry::Clear() { series_.clear(); }
+
+std::string TaskMetric(int task_id, const std::string& metric) {
+  return Sprintf("task.%d.%s", task_id, metric.c_str());
+}
+
+std::string WorkerMetric(int worker_id, const std::string& metric) {
+  return Sprintf("worker.%d.%s", worker_id, metric.c_str());
+}
+
+std::string OperatorMetric(int op_id, const std::string& metric) {
+  return Sprintf("op.%d.%s", op_id, metric.c_str());
+}
+
+std::string QueryMetric(const std::string& query, const std::string& metric) {
+  return Sprintf("query.%s.%s", query.c_str(), metric.c_str());
+}
+
+}  // namespace capsys

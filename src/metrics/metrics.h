@@ -1,0 +1,69 @@
+// Metrics collection (paper §5.1 "Metrics collector"): time series recorded during runtime
+// that the scaling and placement controllers pull on demand.
+#ifndef SRC_METRICS_METRICS_H_
+#define SRC_METRICS_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace capsys {
+
+// One timestamped sample stream for a single metric (e.g. "task.3.true_rate").
+class TimeSeries {
+ public:
+  void Record(double time_s, double value);
+
+  size_t Count() const { return points_.size(); }
+  bool Empty() const { return points_.empty(); }
+  double Last() const;
+  double LastTime() const;
+
+  // Mean of samples with time in [from_s, to_s].
+  double MeanOver(double from_s, double to_s) const;
+  // Mean of all samples from `from_s` to the end.
+  double MeanSince(double from_s) const { return MeanOver(from_s, 1e300); }
+  double Mean() const { return MeanOver(-1e300, 1e300); }
+
+  struct Point {
+    double time_s;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Named registry of time series. Metric names follow "scope.id.metric" convention, e.g.
+// "task.7.true_rate", "worker.2.cpu_util", "query.0.backpressure".
+class MetricsRegistry {
+ public:
+  void Record(const std::string& name, double time_s, double value);
+
+  // Returns the series, creating an empty one if absent.
+  TimeSeries& Series(const std::string& name);
+  // Returns nullptr when the series does not exist.
+  const TimeSeries* Find(const std::string& name) const;
+
+  double LastOr(const std::string& name, double fallback) const;
+  double MeanSinceOr(const std::string& name, double from_s, double fallback) const;
+
+  std::vector<std::string> Names() const;
+  void Clear();
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+// Standard metric name builders so producers and consumers agree on keys.
+std::string TaskMetric(int task_id, const std::string& metric);
+std::string WorkerMetric(int worker_id, const std::string& metric);
+std::string OperatorMetric(int op_id, const std::string& metric);
+std::string QueryMetric(const std::string& query, const std::string& metric);
+
+}  // namespace capsys
+
+#endif  // SRC_METRICS_METRICS_H_

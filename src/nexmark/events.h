@@ -1,0 +1,54 @@
+// Nexmark auction-site event model (Tucker et al., the benchmark the paper's evaluation
+// queries Q1/Q2/Q4/Q5/Q6 are drawn from via Apache Beam).
+#ifndef SRC_NEXMARK_EVENTS_H_
+#define SRC_NEXMARK_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace capsys {
+
+struct Person {
+  int64_t id = 0;
+  std::string name;
+  std::string email;
+  std::string city;
+  std::string state;
+  int64_t timestamp_ms = 0;
+};
+
+struct Auction {
+  int64_t id = 0;
+  int64_t seller = 0;
+  int64_t category = 0;
+  int64_t initial_bid = 0;
+  int64_t reserve = 0;
+  int64_t expires_ms = 0;
+  std::string item_name;
+  int64_t timestamp_ms = 0;
+};
+
+struct Bid {
+  int64_t auction = 0;
+  int64_t bidder = 0;
+  int64_t price = 0;
+  int64_t timestamp_ms = 0;
+};
+
+// A generated event: exactly one of the three entity kinds.
+struct Event {
+  enum class Kind : int { kPerson = 0, kAuction = 1, kBid = 2 };
+
+  Kind kind = Kind::kBid;
+  std::variant<Person, Auction, Bid> payload;
+  int64_t timestamp_ms = 0;
+
+  const Person& person() const { return std::get<Person>(payload); }
+  const Auction& auction() const { return std::get<Auction>(payload); }
+  const Bid& bid() const { return std::get<Bid>(payload); }
+};
+
+}  // namespace capsys
+
+#endif  // SRC_NEXMARK_EVENTS_H_

@@ -1,0 +1,68 @@
+// Bounded multi-producer/multi-consumer queue with blocking semantics — the record-level
+// analogue of Flink's bounded network buffers: a full queue blocks the producer, which is
+// how backpressure propagates upstream in the mini runtime.
+#ifndef SRC_RUNTIME_BOUNDED_QUEUE_H_
+#define SRC_RUNTIME_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace capsys {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  // Blocks until space is available. Returns false if the queue was closed.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Marks the queue closed; pending Pops drain remaining items, then return nullopt.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_RUNTIME_BOUNDED_QUEUE_H_

@@ -1,0 +1,341 @@
+#include "src/runtime/operators.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+
+namespace capsys {
+namespace {
+
+// Zero-padded key segments keep StateStore scans in numeric order.
+std::string PadKey(const char* prefix, int64_t a, int64_t b) {
+  return Sprintf("%s/%020lld/%020lld", prefix, static_cast<long long>(a),
+                 static_cast<long long>(b));
+}
+
+class BidFilter : public RecordOperator {
+ public:
+  void Process(const Record& record, const EmitFn& emit) override {
+    const Event* e = std::get_if<Event>(&record);
+    if (e != nullptr && e->kind == Event::Kind::kBid) {
+      emit(record);
+    }
+  }
+};
+
+// Sliding event-time window counting bids per auction. A bid with timestamp t belongs to
+// every window instance [s, s + window) with s in steps of `slide`. Window instances close
+// when observed event time passes their end; counts are kept in the state store.
+class SlidingBidCounter : public RecordOperator {
+ public:
+  SlidingBidCounter(int64_t window_ms, int64_t slide_ms, StateStoreOptions options)
+      : window_ms_(window_ms), slide_ms_(slide_ms), state_(options) {
+    CAPSYS_CHECK(window_ms_ > 0 && slide_ms_ > 0 && window_ms_ % slide_ms_ == 0);
+  }
+
+  void Process(const Record& record, const EmitFn& emit) override {
+    const Event* e = std::get_if<Event>(&record);
+    if (e == nullptr || e->kind != Event::Kind::kBid) {
+      return;
+    }
+    int64_t ts = e->timestamp_ms;
+    const Bid& bid = e->bid();
+    // First window start covering ts.
+    int64_t last_start = ts - (ts % slide_ms_);
+    for (int64_t s = last_start; s > ts - window_ms_; s -= slide_ms_) {
+      if (s < 0) {
+        break;
+      }
+      std::string key = PadKey("w", s, bid.auction);
+      int64_t count = 1;
+      if (auto existing = state_.Get(key); existing.has_value()) {
+        count = std::stoll(*existing) + 1;
+      }
+      state_.Put(key, std::to_string(count));
+      open_windows_.insert(s);
+    }
+    max_ts_ = std::max(max_ts_, ts);
+    CloseWindowsBefore(max_ts_ - window_ms_ + 1, emit);
+  }
+
+  void Flush(const EmitFn& emit) override {
+    CloseWindowsBefore(INT64_MAX, emit);
+  }
+
+  const StateStoreStats* state_stats() const override { return &state_.stats(); }
+
+ private:
+  void CloseWindowsBefore(int64_t bound, const EmitFn& emit) {
+    while (!open_windows_.empty() && *open_windows_.begin() < bound) {
+      int64_t s = *open_windows_.begin();
+      open_windows_.erase(open_windows_.begin());
+      std::vector<std::string> spent;
+      state_.Scan(PadKey("w", s, 0), PadKey("w", s, INT64_MAX),
+                  [&](const std::string& key, const std::string& value) {
+                    // Key layout: w/<start>/<auction>.
+                    AggregateResult r;
+                    r.key = key.substr(key.rfind('/') + 1);
+                    r.value = std::stod(value);
+                    r.window_start_ms = s;
+                    emit(Record{r});
+                    spent.push_back(key);
+                  });
+      for (const auto& key : spent) {
+        state_.Delete(key);
+      }
+    }
+  }
+
+  int64_t window_ms_;
+  int64_t slide_ms_;
+  StateStore state_;
+  std::set<int64_t> open_windows_;
+  int64_t max_ts_ = 0;
+};
+
+// Tumbling-window join: persons joined with auctions on person.id == auction.seller within
+// the same window (new users who opened auctions — Nexmark Q8).
+class TumblingPersonAuctionJoin : public RecordOperator {
+ public:
+  TumblingPersonAuctionJoin(int64_t window_ms, StateStoreOptions options)
+      : window_ms_(window_ms), state_(options) {
+    CAPSYS_CHECK(window_ms_ > 0);
+  }
+
+  void Process(const Record& record, const EmitFn& emit) override {
+    const Event* e = std::get_if<Event>(&record);
+    if (e == nullptr) {
+      return;
+    }
+    int64_t w = e->timestamp_ms - (e->timestamp_ms % window_ms_);
+    if (e->kind == Event::Kind::kPerson) {
+      state_.Put(PadKey("p", w, e->person().id), e->person().name);
+      open_windows_.insert(w);
+    } else if (e->kind == Event::Kind::kAuction) {
+      state_.Put(PadKey("a", w, e->auction().id), std::to_string(e->auction().seller));
+      open_windows_.insert(w);
+    } else {
+      return;
+    }
+    max_ts_ = std::max(max_ts_, e->timestamp_ms);
+    CloseWindowsBefore(max_ts_ - window_ms_ + 1, emit);
+  }
+
+  void Flush(const EmitFn& emit) override { CloseWindowsBefore(INT64_MAX, emit); }
+
+  const StateStoreStats* state_stats() const override { return &state_.stats(); }
+
+ private:
+  void CloseWindowsBefore(int64_t bound, const EmitFn& emit) {
+    while (!open_windows_.empty() && *open_windows_.begin() < bound) {
+      int64_t w = *open_windows_.begin();
+      open_windows_.erase(open_windows_.begin());
+      // Load this window's persons, then stream auctions against them.
+      std::map<int64_t, std::string> persons;
+      std::vector<std::string> spent;
+      state_.Scan(PadKey("p", w, 0), PadKey("p", w, INT64_MAX),
+                  [&](const std::string& key, const std::string& value) {
+                    persons[std::stoll(key.substr(key.rfind('/') + 1))] = value;
+                    spent.push_back(key);
+                  });
+      state_.Scan(PadKey("a", w, 0), PadKey("a", w, INT64_MAX),
+                  [&](const std::string& key, const std::string& value) {
+                    int64_t seller = std::stoll(value);
+                    auto it = persons.find(seller);
+                    if (it != persons.end()) {
+                      JoinResult r;
+                      r.left_id = seller;
+                      r.right_id = std::stoll(key.substr(key.rfind('/') + 1));
+                      r.payload = it->second;
+                      emit(Record{r});
+                    }
+                    spent.push_back(key);
+                  });
+      for (const auto& key : spent) {
+        state_.Delete(key);
+      }
+    }
+  }
+
+  int64_t window_ms_;
+  StateStore state_;
+  std::set<int64_t> open_windows_;
+  int64_t max_ts_ = 0;
+};
+
+// Session windows per bidder: a session is extended by every bid within `gap_ms` of the
+// previous one; idle sessions are closed and emitted when observed event time passes their
+// expiry. Session state (start, last timestamp, count) lives in the state store.
+class SessionBidCounter : public RecordOperator {
+ public:
+  SessionBidCounter(int64_t gap_ms, StateStoreOptions options)
+      : gap_ms_(gap_ms), state_(options) {
+    CAPSYS_CHECK(gap_ms_ > 0);
+  }
+
+  void Process(const Record& record, const EmitFn& emit) override {
+    const Event* e = std::get_if<Event>(&record);
+    if (e == nullptr || e->kind != Event::Kind::kBid) {
+      return;
+    }
+    int64_t ts = e->timestamp_ms;
+    int64_t bidder = e->bid().bidder;
+    std::string key = Sprintf("s/%020lld", static_cast<long long>(bidder));
+    int64_t start = ts;
+    int64_t count = 0;
+    if (auto existing = state_.Get(key); existing.has_value()) {
+      int64_t last = 0;
+      ParseSession(*existing, &start, &last, &count);
+      if (ts - last > gap_ms_) {
+        // Previous session expired; emit it and start fresh.
+        EmitSession(bidder, start, count, emit);
+        start = ts;
+        count = 0;
+      }
+    }
+    ++count;
+    state_.Put(key, Sprintf("%lld %lld %lld", static_cast<long long>(start),
+                            static_cast<long long>(ts), static_cast<long long>(count)));
+    expiry_[bidder] = ts + gap_ms_;
+    max_ts_ = std::max(max_ts_, ts);
+    CloseIdleSessions(max_ts_, emit);
+  }
+
+  void Flush(const EmitFn& emit) override { CloseIdleSessions(INT64_MAX, emit); }
+
+  const StateStoreStats* state_stats() const override { return &state_.stats(); }
+
+ private:
+  static void ParseSession(const std::string& value, int64_t* start, int64_t* last,
+                           int64_t* count) {
+    long long s = 0;
+    long long l = 0;
+    long long c = 0;
+    CAPSYS_CHECK(std::sscanf(value.c_str(), "%lld %lld %lld", &s, &l, &c) == 3);
+    *start = s;
+    *last = l;
+    *count = c;
+  }
+
+  void EmitSession(int64_t bidder, int64_t start, int64_t count, const EmitFn& emit) {
+    if (count <= 0) {
+      return;
+    }
+    AggregateResult r;
+    r.key = std::to_string(bidder);
+    r.value = static_cast<double>(count);
+    r.window_start_ms = start;
+    emit(Record{r});
+  }
+
+  void CloseIdleSessions(int64_t now, const EmitFn& emit) {
+    for (auto it = expiry_.begin(); it != expiry_.end();) {
+      if (it->second < now) {
+        std::string key = Sprintf("s/%020lld", static_cast<long long>(it->first));
+        if (auto value = state_.Get(key); value.has_value()) {
+          int64_t start = 0;
+          int64_t last = 0;
+          int64_t count = 0;
+          ParseSession(*value, &start, &last, &count);
+          EmitSession(it->first, start, count, emit);
+          state_.Delete(key);
+        }
+        it = expiry_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  int64_t gap_ms_;
+  StateStore state_;
+  std::map<int64_t, int64_t> expiry_;  // bidder -> session expiry time
+  int64_t max_ts_ = 0;
+};
+
+// Maintains the running average bid price per auction in the state store and emits the
+// updated average for every bid.
+class AveragePricePerAuction : public RecordOperator {
+ public:
+  explicit AveragePricePerAuction(StateStoreOptions options) : state_(options) {}
+
+  void Process(const Record& record, const EmitFn& emit) override {
+    const Event* e = std::get_if<Event>(&record);
+    if (e == nullptr || e->kind != Event::Kind::kBid) {
+      return;
+    }
+    const Bid& bid = e->bid();
+    std::string key = Sprintf("avg/%020lld", static_cast<long long>(bid.auction));
+    long long count = 0;
+    long long total = 0;
+    if (auto existing = state_.Get(key); existing.has_value()) {
+      CAPSYS_CHECK(std::sscanf(existing->c_str(), "%lld %lld", &count, &total) == 2);
+    }
+    ++count;
+    total += bid.price;
+    state_.Put(key, Sprintf("%lld %lld", count, total));
+    AggregateResult r;
+    r.key = std::to_string(bid.auction);
+    r.value = static_cast<double>(total) / static_cast<double>(count);
+    r.window_start_ms = e->timestamp_ms;
+    emit(Record{r});
+  }
+
+  const StateStoreStats* state_stats() const override { return &state_.stats(); }
+
+ private:
+  StateStore state_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecordOperator> MakeBidFilter() { return std::make_unique<BidFilter>(); }
+
+std::unique_ptr<RecordOperator> MakeSlidingBidCounter(int64_t window_ms, int64_t slide_ms,
+                                                      StateStoreOptions state_options) {
+  return std::make_unique<SlidingBidCounter>(window_ms, slide_ms, state_options);
+}
+
+std::unique_ptr<RecordOperator> MakeTumblingPersonAuctionJoin(int64_t window_ms,
+                                                              StateStoreOptions state_options) {
+  return std::make_unique<TumblingPersonAuctionJoin>(window_ms, state_options);
+}
+
+std::unique_ptr<RecordOperator> MakeSessionBidCounter(int64_t gap_ms,
+                                                      StateStoreOptions state_options) {
+  return std::make_unique<SessionBidCounter>(gap_ms, state_options);
+}
+
+std::unique_ptr<RecordOperator> MakeAveragePricePerAuction(StateStoreOptions state_options) {
+  return std::make_unique<AveragePricePerAuction>(state_options);
+}
+
+uint64_t KeyByAuction(const Record& record) {
+  const Event* e = std::get_if<Event>(&record);
+  if (e != nullptr && e->kind == Event::Kind::kBid) {
+    return static_cast<uint64_t>(e->bid().auction);
+  }
+  return 0;
+}
+
+uint64_t KeyByPersonOrSeller(const Record& record) {
+  const Event* e = std::get_if<Event>(&record);
+  if (e == nullptr) {
+    return 0;
+  }
+  switch (e->kind) {
+    case Event::Kind::kPerson:
+      return static_cast<uint64_t>(e->person().id);
+    case Event::Kind::kAuction:
+      return static_cast<uint64_t>(e->auction().seller);
+    case Event::Kind::kBid:
+      return static_cast<uint64_t>(e->bid().bidder);
+  }
+  return 0;
+}
+
+}  // namespace capsys

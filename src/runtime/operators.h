@@ -1,0 +1,86 @@
+// Record-level streaming operators over Nexmark events, backed by the log-structured state
+// store. These implement actual query semantics (filtering, windowed counting, windowed
+// joins) so tests and examples can validate behaviour end to end, complementing the fluid
+// simulator which models only resource consumption.
+#ifndef SRC_RUNTIME_OPERATORS_H_
+#define SRC_RUNTIME_OPERATORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "src/nexmark/events.h"
+#include "src/statestore/state_store.h"
+
+namespace capsys {
+
+// Output of an aggregation/window operator.
+struct AggregateResult {
+  std::string key;
+  double value = 0.0;
+  int64_t window_start_ms = 0;
+};
+
+// Output of a join operator.
+struct JoinResult {
+  int64_t left_id = 0;
+  int64_t right_id = 0;
+  std::string payload;
+};
+
+// A record flowing between runtime operators.
+using Record = std::variant<Event, AggregateResult, JoinResult>;
+
+using EmitFn = std::function<void(Record)>;
+
+// One parallel instance of an operator. Instances are created per task and own their state.
+class RecordOperator {
+ public:
+  virtual ~RecordOperator() = default;
+  // Processes one record, emitting zero or more records downstream.
+  virtual void Process(const Record& record, const EmitFn& emit) = 0;
+  // Flushes any remaining windows/state at end of stream.
+  virtual void Flush(const EmitFn& /*emit*/) {}
+  // State backend statistics, if the operator is stateful.
+  virtual const StateStoreStats* state_stats() const { return nullptr; }
+};
+
+using OperatorFactory = std::function<std::unique_ptr<RecordOperator>(int task_index)>;
+
+// Routing key of a record within a stage (used for hash partitioning).
+using KeyFn = std::function<uint64_t(const Record&)>;
+
+// --- Concrete operators -------------------------------------------------------------------
+
+// Passes through only Bid events.
+std::unique_ptr<RecordOperator> MakeBidFilter();
+
+// Counts bids per auction over a sliding event-time window; emits one AggregateResult per
+// (auction, pane) when a later pane's event evicts it. Nexmark Q5 semantics at task scope.
+std::unique_ptr<RecordOperator> MakeSlidingBidCounter(int64_t window_ms, int64_t slide_ms,
+                                                      StateStoreOptions state_options = {});
+
+// Tumbling-window join of Person and Auction events on person == seller (Nexmark Q8): both
+// sides are buffered in the state store and matched when the window closes.
+std::unique_ptr<RecordOperator> MakeTumblingPersonAuctionJoin(
+    int64_t window_ms, StateStoreOptions state_options = {});
+
+// Session windows over bids per bidder (Nexmark Q11 / Q6-session): a session closes when
+// the bidder has been idle for `gap_ms`; emits one AggregateResult per session with the bid
+// count, keyed by bidder, window_start = session start.
+std::unique_ptr<RecordOperator> MakeSessionBidCounter(int64_t gap_ms,
+                                                      StateStoreOptions state_options = {});
+
+// Running average bid price per auction (Q5-aggregate-style stateful process function):
+// emits the updated average on every bid.
+std::unique_ptr<RecordOperator> MakeAveragePricePerAuction(StateStoreOptions state_options = {});
+
+// Keys for hash partitioning.
+uint64_t KeyByAuction(const Record& record);
+uint64_t KeyByPersonOrSeller(const Record& record);
+
+}  // namespace capsys
+
+#endif  // SRC_RUNTIME_OPERATORS_H_

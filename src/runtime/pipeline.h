@@ -1,0 +1,51 @@
+// Multi-threaded record-level pipeline executor.
+//
+// A linear chain of stages, each replicated into `parallelism` tasks running on their own
+// threads, connected by bounded queues with hash or round-robin routing. A full queue
+// blocks the producer, so backpressure propagates to the source exactly as in Flink's
+// credit-based flow control. This is the record-level counterpart of the fluid simulator:
+// it executes real query semantics and is used by tests and examples to validate behaviour.
+#ifndef SRC_RUNTIME_PIPELINE_H_
+#define SRC_RUNTIME_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/bounded_queue.h"
+#include "src/runtime/operators.h"
+
+namespace capsys {
+
+struct StageSpec {
+  std::string name;
+  int parallelism = 1;
+  OperatorFactory factory;
+  // Partitioning of this stage's *input*: when set, records are hashed by key; otherwise
+  // they are distributed round-robin.
+  KeyFn key;
+  size_t queue_capacity = 1024;
+};
+
+struct PipelineResult {
+  std::vector<Record> outputs;                 // records emitted by the last stage
+  std::vector<uint64_t> processed_per_stage;   // records consumed per stage
+  double elapsed_s = 0.0;
+  // Aggregated state-store statistics across all stateful tasks.
+  StateStoreStats state_stats;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(std::vector<StageSpec> stages);
+
+  // Feeds `inputs` through the pipeline and blocks until fully drained.
+  PipelineResult Run(const std::vector<Event>& inputs);
+
+ private:
+  std::vector<StageSpec> stages_;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_RUNTIME_PIPELINE_H_

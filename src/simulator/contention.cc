@@ -1,0 +1,142 @@
+#include "src/simulator/contention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace capsys {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& params,
+                             const std::vector<TaskLoad>& loads) {
+  WorkerAllocation out;
+  size_t n = loads.size();
+  out.rate.assign(n, 0.0);
+  out.capacity_rate.assign(n, 0.0);
+  if (n == 0) {
+    out.effective_io_bandwidth = spec.io_bandwidth_bps;
+    return out;
+  }
+
+  // --- Interference pre-pass -------------------------------------------------------------
+  int num_stateful = 0;
+  int num_gc = 0;
+  for (const auto& l : loads) {
+    if (l.stateful && l.io_per_record > 0.0) {
+      ++num_stateful;
+    }
+    if (l.gc_fraction > 0.0) {
+      ++num_gc;
+    }
+  }
+  // Compaction interference shrinks the disk bandwidth every stateful task shares.
+  double io_bandwidth =
+      spec.io_bandwidth_bps / (1.0 + params.beta_io * std::max(0, num_stateful - 1));
+  out.effective_io_bandwidth = io_bandwidth;
+
+  // GC collisions inflate the CPU cost of GC-prone tasks when several share the worker.
+  std::vector<double> cpu_per_record(n);
+  for (size_t i = 0; i < n; ++i) {
+    double mult = 1.0;
+    if (loads[i].gc_fraction > 0.0) {
+      mult = 1.0 + loads[i].gc_fraction * (1.0 + params.gc_collide * (num_gc - 1));
+      mult = std::min(mult, params.max_gc_multiplier);
+    }
+    cpu_per_record[i] = loads[i].cpu_per_record * mult;
+  }
+
+  // --- Standalone per-task caps (one slot == one thread) ---------------------------------
+  std::vector<double> cap(n);
+  for (size_t i = 0; i < n; ++i) {
+    double c = loads[i].desired_rate;
+    if (cpu_per_record[i] > kEps) {
+      c = std::min(c, params.cores_per_task / cpu_per_record[i]);
+    }
+    if (loads[i].io_per_record > kEps) {
+      c = std::min(c, io_bandwidth / loads[i].io_per_record);
+    }
+    if (loads[i].net_per_record > kEps) {
+      c = std::min(c, spec.net_bandwidth_bps / loads[i].net_per_record);
+    }
+    cap[i] = std::max(0.0, c);
+  }
+
+  // --- Proportional-share scaling, one pass per resource ---------------------------------
+  // Scaling down only ever reduces the other resources' totals, so a single sequential pass
+  // yields a feasible allocation.
+  struct Dim {
+    double capacity;
+    const double* cost;  // per-record cost array (indexed like loads)
+  };
+  std::vector<double> io_cost(n);
+  std::vector<double> net_cost(n);
+  for (size_t i = 0; i < n; ++i) {
+    io_cost[i] = loads[i].io_per_record;
+    net_cost[i] = loads[i].net_per_record;
+  }
+  const Dim dims[3] = {
+      {spec.cpu_capacity, cpu_per_record.data()},
+      {io_bandwidth, io_cost.data()},
+      {spec.net_bandwidth_bps, net_cost.data()},
+  };
+
+  std::vector<double> rate = cap;
+  double factors[3] = {1.0, 1.0, 1.0};
+  for (int d = 0; d < 3; ++d) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += rate[i] * dims[d].cost[i];
+    }
+    if (total > dims[d].capacity + kEps) {
+      double factor = dims[d].capacity / total;
+      factors[d] = factor;
+      for (size_t i = 0; i < n; ++i) {
+        if (dims[d].cost[i] > kEps) {
+          rate[i] *= factor;
+        }
+      }
+    }
+  }
+  out.rate = rate;
+
+  // --- Capacity rates ("true rate" under current contention) -----------------------------
+  // A task demanding infinite work would get its standalone cap times the contention scale
+  // factors of the resources it actually uses.
+  for (size_t i = 0; i < n; ++i) {
+    double c = 1e18;
+    if (cpu_per_record[i] > kEps) {
+      c = std::min(c, params.cores_per_task / cpu_per_record[i] * factors[0]);
+    }
+    if (io_cost[i] > kEps) {
+      c = std::min(c, io_bandwidth / io_cost[i] * factors[1]);
+    }
+    if (net_cost[i] > kEps) {
+      c = std::min(c, spec.net_bandwidth_bps / net_cost[i] * factors[2]);
+    }
+    if (c >= 1e18) {  // zero-cost task: unbounded
+      c = 1e18;
+    }
+    out.capacity_rate[i] = c;
+  }
+
+  // --- Utilization (from allocated rates; callers with actual processed amounts should
+  // recompute usage via effective_cpu_per_record) ------------------------------------------
+  double used[3] = {0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    used[0] += rate[i] * cpu_per_record[i];
+    used[1] += rate[i] * io_cost[i];
+    used[2] += rate[i] * net_cost[i];
+  }
+  out.utilization.cpu = spec.cpu_capacity > kEps ? used[0] / spec.cpu_capacity : 0.0;
+  out.utilization.io = io_bandwidth > kEps ? used[1] / io_bandwidth : 0.0;
+  out.utilization.net = spec.net_bandwidth_bps > kEps ? used[2] / spec.net_bandwidth_bps : 0.0;
+  out.effective_cpu_per_record = std::move(cpu_per_record);
+  return out;
+}
+
+}  // namespace capsys

@@ -1,0 +1,73 @@
+// Per-worker resource contention model.
+//
+// Given the tasks co-located on one worker and their desired processing rates, computes the
+// rate each task can actually sustain this instant. Captures the three contention effects
+// the paper's §3 study isolates:
+//   - CPU: each task runs on one slot thread (<= 1 core); when aggregate CPU demand exceeds
+//     the worker's cores, tasks share proportionally (OS processor sharing). Tasks with
+//     GC-prone workloads (model inference) additionally interfere with each other when
+//     co-located (§3.3 "co-locating compute-intensive tasks").
+//   - Disk I/O: stateful tasks share the disk; co-locating k stateful tasks degrades the
+//     effective bandwidth superlinearly due to compaction interference in the state backend
+//     (§3.3 "co-locating I/O-intensive tasks").
+//   - Network: only cross-worker traffic consumes the NIC; tasks share outbound bandwidth
+//     proportionally when it saturates (§3.3 "co-locating network-intensive tasks").
+#ifndef SRC_SIMULATOR_CONTENTION_H_
+#define SRC_SIMULATOR_CONTENTION_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/types.h"
+
+namespace capsys {
+
+// Calibration constants of the contention model. Defaults were tuned so the §3 motivation
+// experiments show the same relative gaps the paper reports.
+struct ContentionParams {
+  // Max CPU cores one slot thread can use.
+  double cores_per_task = 1.0;
+  // Compaction interference: effective disk bandwidth = B / (1 + beta_io * (k_stateful-1)).
+  double beta_io = 0.25;
+  // GC collision: co-located GC-prone tasks inflate each other's CPU cost.
+  double gc_collide = 0.6;
+  // Upper bound on the GC-induced CPU cost multiplier.
+  double max_gc_multiplier = 2.5;
+};
+
+// Resource demand of one task on a worker, per processed record, plus how fast it wants to
+// run right now.
+struct TaskLoad {
+  TaskId task = kInvalidId;
+  double cpu_per_record = 0.0;      // CPU-seconds per input record
+  double io_per_record = 0.0;       // state bytes per input record
+  double net_per_record = 0.0;      // outbound *cross-worker* bytes per input record
+  double desired_rate = 0.0;        // records/s the task wants to process this tick
+  bool stateful = false;
+  double gc_fraction = 0.0;         // GC-prone share of CPU work (0 for most operators)
+};
+
+// Result of the per-worker solve.
+struct WorkerAllocation {
+  // rate[i] <= loads[i].desired_rate: achievable processing rate for each task.
+  std::vector<double> rate;
+  // capacity_rate[i]: the rate task i could sustain if it demanded infinitely much, given
+  // the other tasks' demands — the "true processing rate" DS2 consumes.
+  std::vector<double> capacity_rate;
+  // Effective CPU cost per record after GC-collision inflation (used to attribute actual
+  // CPU usage to the records really processed).
+  std::vector<double> effective_cpu_per_record;
+  // Post-contention utilization of each resource dimension, in [0, 1].
+  ResourceVector utilization;
+  // Effective disk bandwidth after compaction interference.
+  double effective_io_bandwidth = 0.0;
+};
+
+// Solves the proportional-share allocation for one worker. `loads` lists all tasks placed
+// on the worker. Runs in O(|loads|) per resource.
+WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& params,
+                             const std::vector<TaskLoad>& loads);
+
+}  // namespace capsys
+
+#endif  // SRC_SIMULATOR_CONTENTION_H_

@@ -1,0 +1,467 @@
+#include "src/simulator/fluid_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+
+namespace capsys {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+}  // namespace
+
+std::string QuerySummary::ToString() const {
+  return Sprintf("throughput=%.1f rec/s bp=%.1f%% latency=%.3fs sink=%.1f rec/s util=%s",
+                 throughput, backpressure * 100.0, latency_s, sink_rate,
+                 max_worker_utilization.ToString().c_str());
+}
+
+FluidSimulator::FluidSimulator(const PhysicalGraph& graph, const Cluster& cluster,
+                               const Placement& placement, SimConfig config)
+    : graph_(graph), cluster_(cluster), placement_(placement), config_(config) {
+  std::string err = placement_.Validate(graph_, cluster_);
+  CAPSYS_CHECK_MSG(err.empty(), err);
+  size_t n = static_cast<size_t>(graph_.num_tasks());
+  queue_.assign(n, 0.0);
+  is_source_.assign(n, false);
+  for (const auto& t : graph_.tasks()) {
+    if (graph_.logical().op(t.op).kind == OperatorKind::kSource) {
+      is_source_[static_cast<size_t>(t.id)] = true;
+    }
+  }
+  for (OperatorId s : graph_.logical().SourceIds()) {
+    source_rates_[s] = 0.0;
+  }
+  failed_.assign(static_cast<size_t>(cluster_.num_workers()), false);
+  task_true_rate_.resize(n);
+  task_observed_rate_.resize(n);
+  op_emit_rate_.resize(static_cast<size_t>(graph_.num_operators()));
+  op_backpressure_.resize(static_cast<size_t>(graph_.num_operators()));
+  op_in_rate_.resize(static_cast<size_t>(graph_.num_operators()));
+  op_out_rate_.resize(static_cast<size_t>(graph_.num_operators()));
+  op_in_sum_.assign(static_cast<size_t>(graph_.num_operators()), 0.0);
+  op_out_sum_.assign(static_cast<size_t>(graph_.num_operators()), 0.0);
+  op_emit_sum_.assign(static_cast<size_t>(graph_.num_operators()), 0.0);
+  op_bp_sum_.assign(static_cast<size_t>(graph_.num_operators()), 0.0);
+  op_source_tasks_.assign(static_cast<size_t>(graph_.num_operators()), 0);
+  op_cpu_used_.resize(static_cast<size_t>(graph_.num_operators()));
+  op_io_bps_.resize(static_cast<size_t>(graph_.num_operators()));
+  op_net_bps_.resize(static_cast<size_t>(graph_.num_operators()));
+  for (const auto& t : graph_.tasks()) {
+    if (is_source_[static_cast<size_t>(t.id)]) {
+      ++op_source_tasks_[static_cast<size_t>(t.op)];
+    }
+  }
+  size_t w = static_cast<size_t>(cluster_.num_workers());
+  worker_cpu_util_.resize(w);
+  worker_io_util_.resize(w);
+  worker_net_util_.resize(w);
+  worker_cpu_used_.resize(w);
+  worker_io_bps_.resize(w);
+  worker_net_bps_.resize(w);
+  RebuildStatics();
+}
+
+void FluidSimulator::RebuildStatics() {
+  size_t n = static_cast<size_t>(graph_.num_tasks());
+  down_tasks_.assign(n, {});
+  remote_fraction_.assign(n, 0.0);
+  for (const auto& t : graph_.tasks()) {
+    for (ChannelId c : graph_.DownstreamChannels(t.id)) {
+      down_tasks_[static_cast<size_t>(t.id)].push_back(graph_.channel(c).to);
+    }
+    remote_fraction_[static_cast<size_t>(t.id)] = placement_.RemoteFraction(graph_, t.id);
+  }
+  worker_tasks_.assign(static_cast<size_t>(cluster_.num_workers()), {});
+  for (const auto& t : graph_.tasks()) {
+    worker_tasks_[static_cast<size_t>(placement_.WorkerOf(t.id))].push_back(
+        static_cast<size_t>(t.id));
+  }
+  // Queue capacities from target rates (buffer-debloating stand-in).
+  auto rates = PropagateRates(graph_.logical(), source_rates_);
+  queue_capacity_.assign(n, config_.min_queue_records);
+  for (const auto& t : graph_.tasks()) {
+    const auto& op = graph_.logical().op(t.op);
+    double per_task_in = rates[static_cast<size_t>(t.op)].input_rate / op.parallelism;
+    queue_capacity_[static_cast<size_t>(t.id)] =
+        std::max(config_.min_queue_records, per_task_in * config_.buffer_seconds);
+  }
+}
+
+void FluidSimulator::FailWorker(WorkerId w) {
+  CAPSYS_CHECK(w >= 0 && w < cluster_.num_workers());
+  failed_[static_cast<size_t>(w)] = true;
+}
+
+void FluidSimulator::RestoreWorker(WorkerId w) {
+  CAPSYS_CHECK(w >= 0 && w < cluster_.num_workers());
+  failed_[static_cast<size_t>(w)] = false;
+}
+
+void FluidSimulator::SetSourceRate(OperatorId source_op, double records_per_s) {
+  CAPSYS_CHECK_MSG(source_rates_.count(source_op) == 1, "not a source operator");
+  source_rates_[source_op] = records_per_s;
+  RebuildStatics();
+}
+
+void FluidSimulator::SetAllSourceRates(double records_per_s) {
+  for (auto& [op, rate] : source_rates_) {
+    rate = records_per_s;
+  }
+  RebuildStatics();
+}
+
+void FluidSimulator::Step() {
+  const double dt = config_.tick_s;
+  const size_t n = static_cast<size_t>(graph_.num_tasks());
+
+  // --- 1. Desired processing rates -------------------------------------------------------
+  std::vector<double> desired(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (is_source_[i]) {
+      const auto& t = graph_.task(static_cast<TaskId>(i));
+      double target = source_rates_.at(t.op);
+      desired[i] = target / graph_.logical().op(t.op).parallelism;
+    } else {
+      desired[i] = queue_[i] / dt;
+    }
+  }
+
+  // --- 2. Per-worker contention solve -----------------------------------------------------
+  std::vector<double> rate_cap(n, 0.0);    // achievable processing rate this tick
+  std::vector<double> true_rate(n, 0.0);   // capacity under current contention
+  std::vector<double> eff_cpu_cost(n, 0.0);  // post-GC CPU-seconds per record
+  std::vector<double> io_cost(n, 0.0);
+  std::vector<double> net_cost(n, 0.0);   // remote share (consumes the NIC)
+  std::vector<double> out_cost(n, 0.0);   // full emitted bytes per input record
+  std::vector<double> eff_io_bw(static_cast<size_t>(cluster_.num_workers()), 0.0);
+  for (WorkerId w = 0; w < cluster_.num_workers(); ++w) {
+    const auto& idxs = worker_tasks_[static_cast<size_t>(w)];
+    std::vector<TaskLoad> loads;
+    loads.reserve(idxs.size());
+    for (size_t i : idxs) {
+      const auto& t = graph_.task(static_cast<TaskId>(i));
+      const auto& prof = graph_.logical().op(t.op).profile;
+      TaskLoad l;
+      l.task = t.id;
+      l.cpu_per_record = prof.cpu_per_record;
+      l.io_per_record = prof.io_bytes_per_record;
+      l.net_per_record = prof.selectivity * prof.out_bytes_per_record * remote_fraction_[i];
+      l.desired_rate = desired[i];
+      l.stateful = prof.stateful;
+      l.gc_fraction = prof.gc_spike_fraction;
+      loads.push_back(l);
+    }
+    WorkerAllocation alloc = SolveWorker(cluster_.worker(w).spec, config_.contention, loads);
+    if (failed_[static_cast<size_t>(w)]) {
+      std::fill(alloc.rate.begin(), alloc.rate.end(), 0.0);
+      std::fill(alloc.capacity_rate.begin(), alloc.capacity_rate.end(), 0.0);
+    }
+    eff_io_bw[static_cast<size_t>(w)] = alloc.effective_io_bandwidth;
+    for (size_t k = 0; k < idxs.size(); ++k) {
+      rate_cap[idxs[k]] = alloc.rate[k];
+      true_rate[idxs[k]] = alloc.capacity_rate[k];
+      eff_cpu_cost[idxs[k]] = alloc.effective_cpu_per_record[k];
+      io_cost[idxs[k]] = loads[k].io_per_record;
+      net_cost[idxs[k]] = loads[k].net_per_record;
+      const auto& prof = graph_.logical().op(graph_.task(static_cast<TaskId>(idxs[k])).op)
+                             .profile;
+      out_cost[idxs[k]] = prof.selectivity * prof.out_bytes_per_record;
+    }
+  }
+
+  // --- 3. Raw processing amounts and downstream claims ------------------------------------
+  std::vector<double> proc_raw(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (is_source_[i]) {
+      proc_raw[i] = std::min(rate_cap[i], desired[i]) * dt;
+    } else {
+      proc_raw[i] = std::min(queue_[i], rate_cap[i] * dt);
+    }
+  }
+  // Free space per downstream task (conservative: no credit for this tick's drain).
+  std::vector<double> claim_total(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& downs = down_tasks_[i];
+    if (downs.empty()) {
+      continue;
+    }
+    const auto& t = graph_.task(static_cast<TaskId>(i));
+    double out = proc_raw[i] * graph_.logical().op(t.op).profile.selectivity;
+    double share = out / static_cast<double>(downs.size());
+    for (TaskId d : downs) {
+      claim_total[static_cast<size_t>(d)] += share;
+    }
+  }
+  std::vector<double> accept(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (claim_total[i] > kEps) {
+      double free = std::max(0.0, queue_capacity_[i] - queue_[i]);
+      accept[i] = std::min(1.0, free / claim_total[i]);
+    }
+  }
+
+  // --- 4. Emit factors: one blocked channel blocks the whole task (Flink semantics) -------
+  std::vector<double> emit_factor(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    double f = 1.0;
+    for (TaskId d : down_tasks_[i]) {
+      f = std::min(f, accept[static_cast<size_t>(d)]);
+    }
+    emit_factor[i] = f;
+  }
+
+  // --- 5. Apply transfers -----------------------------------------------------------------
+  std::vector<double> enqueue(n, 0.0);
+  std::vector<double> processed_rate(n, 0.0);
+  double source_emitted = 0.0;
+  double sink_arrivals = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double processed = proc_raw[i] * emit_factor[i];
+    processed_rate[i] = processed / dt;
+    const auto& t = graph_.task(static_cast<TaskId>(i));
+    const auto& op = graph_.logical().op(t.op);
+    if (!is_source_[i]) {
+      queue_[i] -= processed;
+      if (queue_[i] < 0.0) {
+        queue_[i] = 0.0;
+      }
+    } else {
+      source_emitted += processed;
+    }
+    const auto& downs = down_tasks_[i];
+    if (!downs.empty()) {
+      double out = processed * op.profile.selectivity;
+      double share = out / static_cast<double>(downs.size());
+      for (TaskId d : downs) {
+        enqueue[static_cast<size_t>(d)] += share;
+      }
+    }
+    if (downs.empty() && !is_source_[i]) {
+      sink_arrivals += processed;  // records leaving the pipeline at sinks
+    }
+    // Per-task metric accumulation.
+    task_true_rate_[i].Add(std::min(true_rate[i], 1e15));
+    task_observed_rate_[i].Add(processed / dt);
+    // Per-operator aggregates (summed over the operator's tasks per tick).
+    if (is_source_[i]) {
+      op_emit_sum_[static_cast<size_t>(t.op)] += processed / dt;
+      op_bp_sum_[static_cast<size_t>(t.op)] += 1.0 - emit_factor[i];
+    }
+    op_in_sum_[static_cast<size_t>(t.op)] += processed / dt;
+    op_out_sum_[static_cast<size_t>(t.op)] += processed * op.profile.selectivity / dt;
+  }
+  for (size_t o = 0; o < op_in_rate_.size(); ++o) {
+    op_in_rate_[o].Add(op_in_sum_[o]);
+    op_out_rate_[o].Add(op_out_sum_[o]);
+    op_in_sum_[o] = 0.0;
+    op_out_sum_[o] = 0.0;
+    if (op_source_tasks_[o] > 0) {
+      op_emit_rate_[o].Add(op_emit_sum_[o]);  // total records/s emitted by the operator
+      op_backpressure_[o].Add(op_bp_sum_[o] / op_source_tasks_[o]);  // mean blocked share
+      op_emit_sum_[o] = 0.0;
+      op_bp_sum_[o] = 0.0;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    queue_[i] = std::min(queue_[i] + enqueue[i], queue_capacity_[i] + 1.0);
+  }
+
+  // --- 5b. Resource usage from the work actually performed ---------------------------------
+  {
+    std::vector<double> op_cpu(op_cpu_used_.size(), 0.0);
+    std::vector<double> op_io(op_cpu_used_.size(), 0.0);
+    std::vector<double> op_net(op_cpu_used_.size(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t o = static_cast<size_t>(graph_.task(static_cast<TaskId>(i)).op);
+      op_cpu[o] += processed_rate[i] * eff_cpu_cost[i];
+      op_io[o] += processed_rate[i] * io_cost[i];
+      op_net[o] += processed_rate[i] * out_cost[i];  // full output bytes (observable)
+    }
+    for (size_t o = 0; o < op_cpu.size(); ++o) {
+      op_cpu_used_[o].Add(op_cpu[o]);
+      op_io_bps_[o].Add(op_io[o]);
+      op_net_bps_[o].Add(op_net[o]);
+    }
+  }
+  for (WorkerId w = 0; w < cluster_.num_workers(); ++w) {
+    const auto& spec = cluster_.worker(w).spec;
+    double cpu_used = 0.0;
+    double io_used = 0.0;
+    double net_used = 0.0;
+    for (size_t i : worker_tasks_[static_cast<size_t>(w)]) {
+      cpu_used += processed_rate[i] * eff_cpu_cost[i];
+      io_used += processed_rate[i] * io_cost[i];
+      net_used += processed_rate[i] * net_cost[i];
+    }
+    double io_bw = eff_io_bw[static_cast<size_t>(w)];
+    worker_cpu_util_[static_cast<size_t>(w)].Add(
+        spec.cpu_capacity > 0 ? cpu_used / spec.cpu_capacity : 0.0);
+    worker_io_util_[static_cast<size_t>(w)].Add(io_bw > 0 ? io_used / io_bw : 0.0);
+    worker_net_util_[static_cast<size_t>(w)].Add(
+        spec.net_bandwidth_bps > 0 ? net_used / spec.net_bandwidth_bps : 0.0);
+    worker_cpu_used_[static_cast<size_t>(w)].Add(cpu_used);
+    worker_io_bps_[static_cast<size_t>(w)].Add(io_used);
+    worker_net_bps_[static_cast<size_t>(w)].Add(net_used);
+  }
+
+  // --- 6. Query-level accumulators ---------------------------------------------------------
+  double total_target = 0.0;
+  for (const auto& [op, r] : source_rates_) {
+    total_target += r;
+  }
+  double in_flight = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    in_flight += queue_[i];
+  }
+  double emit_rate = source_emitted / dt;
+  total_throughput_.Add(emit_rate);
+  double bp = 0.0;
+  int num_sources = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (is_source_[i]) {
+      bp += 1.0 - emit_factor[i];
+      ++num_sources;
+    }
+  }
+  total_backpressure_.Add(num_sources > 0 ? bp / num_sources : 0.0);
+  latency_.Add(in_flight / std::max(emit_rate, std::max(total_target * 0.01, 1.0)));
+  sink_rate_.Add(sink_arrivals / dt);
+
+  time_s_ += dt;
+  if (time_s_ - last_flush_s_ >= config_.metrics_interval_s - kEps) {
+    FlushMetrics();
+  }
+}
+
+void FluidSimulator::FlushMetrics() {
+  if (total_throughput_.count == 0) {
+    return;  // nothing accumulated since the last flush (e.g. double flush)
+  }
+  last_flush_s_ = time_s_;
+  for (size_t i = 0; i < task_true_rate_.size(); ++i) {
+    metrics_.Record(TaskMetric(static_cast<int>(i), "true_rate"), time_s_,
+                    task_true_rate_[i].MeanAndReset());
+    metrics_.Record(TaskMetric(static_cast<int>(i), "observed_rate"), time_s_,
+                    task_observed_rate_[i].MeanAndReset());
+  }
+  for (size_t o = 0; o < op_emit_rate_.size(); ++o) {
+    if (op_emit_rate_[o].count > 0) {
+      metrics_.Record(OperatorMetric(static_cast<int>(o), "emit_rate"), time_s_,
+                      op_emit_rate_[o].MeanAndReset());
+      metrics_.Record(OperatorMetric(static_cast<int>(o), "backpressure"), time_s_,
+                      op_backpressure_[o].MeanAndReset());
+    }
+    metrics_.Record(OperatorMetric(static_cast<int>(o), "in_rate"), time_s_,
+                    op_in_rate_[o].MeanAndReset());
+    metrics_.Record(OperatorMetric(static_cast<int>(o), "out_rate"), time_s_,
+                    op_out_rate_[o].MeanAndReset());
+    metrics_.Record(OperatorMetric(static_cast<int>(o), "cpu_used"), time_s_,
+                    op_cpu_used_[o].MeanAndReset());
+    metrics_.Record(OperatorMetric(static_cast<int>(o), "io_bps"), time_s_,
+                    op_io_bps_[o].MeanAndReset());
+    metrics_.Record(OperatorMetric(static_cast<int>(o), "net_bps"), time_s_,
+                    op_net_bps_[o].MeanAndReset());
+  }
+  for (size_t w = 0; w < worker_cpu_util_.size(); ++w) {
+    metrics_.Record(WorkerMetric(static_cast<int>(w), "cpu_util"), time_s_,
+                    worker_cpu_util_[w].MeanAndReset());
+    metrics_.Record(WorkerMetric(static_cast<int>(w), "io_util"), time_s_,
+                    worker_io_util_[w].MeanAndReset());
+    metrics_.Record(WorkerMetric(static_cast<int>(w), "net_util"), time_s_,
+                    worker_net_util_[w].MeanAndReset());
+    metrics_.Record(WorkerMetric(static_cast<int>(w), "cpu_used"), time_s_,
+                    worker_cpu_used_[w].MeanAndReset());
+    metrics_.Record(WorkerMetric(static_cast<int>(w), "io_bps"), time_s_,
+                    worker_io_bps_[w].MeanAndReset());
+    metrics_.Record(WorkerMetric(static_cast<int>(w), "net_bps"), time_s_,
+                    worker_net_bps_[w].MeanAndReset());
+  }
+  metrics_.Record("query.throughput", time_s_, total_throughput_.MeanAndReset());
+  metrics_.Record("query.backpressure", time_s_, total_backpressure_.MeanAndReset());
+  metrics_.Record("query.latency", time_s_, latency_.MeanAndReset());
+  metrics_.Record("query.sink_rate", time_s_, sink_rate_.MeanAndReset());
+}
+
+void FluidSimulator::RunFor(double seconds) {
+  int steps = static_cast<int>(std::llround(seconds / config_.tick_s));
+  for (int i = 0; i < steps; ++i) {
+    Step();
+  }
+}
+
+QuerySummary FluidSimulator::RunMeasured(double warmup_s, double measure_s) {
+  RunFor(warmup_s);
+  double from = time_s_;
+  RunFor(measure_s);
+  FlushMetrics();
+  return Summarize(from, time_s_);
+}
+
+QuerySummary FluidSimulator::Summarize(double from_s, double to_s) const {
+  QuerySummary s;
+  const TimeSeries* th = metrics_.Find("query.throughput");
+  const TimeSeries* bp = metrics_.Find("query.backpressure");
+  const TimeSeries* lat = metrics_.Find("query.latency");
+  const TimeSeries* sink = metrics_.Find("query.sink_rate");
+  if (th != nullptr) {
+    s.throughput = th->MeanOver(from_s, to_s);
+  }
+  if (bp != nullptr) {
+    s.backpressure = bp->MeanOver(from_s, to_s);
+  }
+  if (lat != nullptr) {
+    s.latency_s = lat->MeanOver(from_s, to_s);
+  }
+  if (sink != nullptr) {
+    s.sink_rate = sink->MeanOver(from_s, to_s);
+  }
+  for (WorkerId w = 0; w < cluster_.num_workers(); ++w) {
+    ResourceVector util;
+    util.cpu = metrics_.MeanSinceOr(WorkerMetric(w, "cpu_util"), from_s, 0.0);
+    util.io = metrics_.MeanSinceOr(WorkerMetric(w, "io_util"), from_s, 0.0);
+    util.net = metrics_.MeanSinceOr(WorkerMetric(w, "net_util"), from_s, 0.0);
+    s.max_worker_utilization.cpu = std::max(s.max_worker_utilization.cpu, util.cpu);
+    s.max_worker_utilization.io = std::max(s.max_worker_utilization.io, util.io);
+    s.max_worker_utilization.net = std::max(s.max_worker_utilization.net, util.net);
+  }
+  return s;
+}
+
+double FluidSimulator::OperatorEmitRate(OperatorId op, double from_s, double to_s) const {
+  const TimeSeries* ts = metrics_.Find(OperatorMetric(op, "emit_rate"));
+  return ts != nullptr ? ts->MeanOver(from_s, to_s) : 0.0;
+}
+
+double FluidSimulator::OperatorBackpressure(OperatorId op, double from_s, double to_s) const {
+  const TimeSeries* ts = metrics_.Find(OperatorMetric(op, "backpressure"));
+  return ts != nullptr ? ts->MeanOver(from_s, to_s) : 0.0;
+}
+
+double FluidSimulator::OperatorInputRate(OperatorId op, double from_s, double to_s) const {
+  const TimeSeries* ts = metrics_.Find(OperatorMetric(op, "in_rate"));
+  return ts != nullptr ? ts->MeanOver(from_s, to_s) : 0.0;
+}
+
+double FluidSimulator::OperatorOutputRate(OperatorId op, double from_s, double to_s) const {
+  const TimeSeries* ts = metrics_.Find(OperatorMetric(op, "out_rate"));
+  return ts != nullptr ? ts->MeanOver(from_s, to_s) : 0.0;
+}
+
+double FluidSimulator::OperatorTrueRatePerTask(OperatorId op, double from_s, double to_s) const {
+  double sum = 0.0;
+  int n = 0;
+  for (TaskId t : graph_.TasksOf(op)) {
+    const TimeSeries* ts = metrics_.Find(TaskMetric(t, "true_rate"));
+    if (ts != nullptr) {
+      sum += ts->MeanOver(from_s, to_s);
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+}  // namespace capsys

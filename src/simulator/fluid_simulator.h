@@ -1,0 +1,168 @@
+// Discrete-time fluid simulator of a placed streaming dataflow.
+//
+// Substitutes for the paper's Flink-on-EC2 testbed (see DESIGN.md). The engine advances in
+// fixed ticks; each tick it (1) solves the per-worker contention allocation (contention.h),
+// (2) moves records through bounded per-task input queues, and (3) throttles producers whose
+// downstream queues are full — which is exactly how Flink's credit-based backpressure
+// manifests at the measurement granularity of the paper (5 s samples).
+//
+// Reported metrics mirror the paper's: source throughput, backpressure fraction at the
+// source, end-to-end latency estimate, per-worker utilization, and the per-task true/observed
+// processing rates DS2 consumes.
+#ifndef SRC_SIMULATOR_FLUID_SIMULATOR_H_
+#define SRC_SIMULATOR_FLUID_SIMULATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/dataflow/placement.h"
+#include "src/dataflow/rates.h"
+#include "src/metrics/metrics.h"
+#include "src/simulator/contention.h"
+
+namespace capsys {
+
+struct SimConfig {
+  double tick_s = 0.1;
+  // Buffer debloating stand-in: per-task queue capacity is `buffer_seconds` worth of the
+  // task's target input rate, floored at `min_queue_records`.
+  double buffer_seconds = 0.5;
+  double min_queue_records = 64.0;
+  // Interval at which metrics are flushed into the registry (paper records every 5 s).
+  double metrics_interval_s = 5.0;
+  ContentionParams contention;
+};
+
+// Aggregate measurements over a time window (what Figures 2/3/7/8 plot per run).
+struct QuerySummary {
+  double throughput = 0.0;       // records/s emitted by all sources, mean over window
+  double backpressure = 0.0;     // mean fraction of time sources were blocked, [0, 1]
+  double latency_s = 0.0;        // mean end-to-end latency estimate
+  double sink_rate = 0.0;        // records/s arriving at sinks
+  ResourceVector max_worker_utilization;  // max over workers of mean utilization
+
+  std::string ToString() const;
+};
+
+class FluidSimulator {
+ public:
+  FluidSimulator(const PhysicalGraph& graph, const Cluster& cluster, const Placement& placement,
+                 SimConfig config = {});
+
+  // Sets the target generation rate (records/s, aggregate over the operator's tasks) of one
+  // source operator. Takes effect at the next tick.
+  void SetSourceRate(OperatorId source_op, double records_per_s);
+  // Sets the same target rate on every source operator.
+  void SetAllSourceRates(double records_per_s);
+
+  // Fault injection: a failed worker stops processing entirely (its tasks' queues freeze
+  // and backpressure propagates to the sources, as when a TaskManager dies mid-run).
+  void FailWorker(WorkerId w);
+  void RestoreWorker(WorkerId w);
+  bool IsWorkerFailed(WorkerId w) const { return failed_[static_cast<size_t>(w)]; }
+
+  // Advances the simulation.
+  void Step();
+  void RunFor(double seconds);
+
+  // Convenience: runs `warmup_s` unmeasured, then `measure_s`, and summarizes the
+  // measurement window.
+  QuerySummary RunMeasured(double warmup_s, double measure_s);
+
+  // Summarizes the window [from_s, to_s] from recorded metrics.
+  QuerySummary Summarize(double from_s, double to_s) const;
+
+  // Mean emitted records/s of one operator's tasks over [from_s, to_s]. For source
+  // operators this is the per-query throughput used by the multi-tenant experiment.
+  double OperatorEmitRate(OperatorId op, double from_s, double to_s) const;
+  // Mean backpressure of one source operator over [from_s, to_s].
+  double OperatorBackpressure(OperatorId op, double from_s, double to_s) const;
+  // Mean records/s processed (input) and emitted (output) by an operator over the window.
+  double OperatorInputRate(OperatorId op, double from_s, double to_s) const;
+  double OperatorOutputRate(OperatorId op, double from_s, double to_s) const;
+  // Mean per-task true processing rate (capacity under current contention) of an
+  // operator's tasks over the window — the metric DS2 consumes.
+  double OperatorTrueRatePerTask(OperatorId op, double from_s, double to_s) const;
+
+  double time_s() const { return time_s_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  const PhysicalGraph& graph() const { return graph_; }
+  const Cluster& cluster() const { return cluster_; }
+  const Placement& placement() const { return placement_; }
+
+  // Current queue length (records) of a task; exposed for tests.
+  double QueueLength(TaskId t) const { return queue_[static_cast<size_t>(t)]; }
+
+ private:
+  void RebuildStatics();
+  void FlushMetrics();
+
+  PhysicalGraph graph_;
+  Cluster cluster_;
+  Placement placement_;
+  SimConfig config_;
+  MetricsRegistry metrics_;
+
+  double time_s_ = 0.0;
+  std::map<OperatorId, double> source_rates_;
+
+  // Per-task dynamic state.
+  std::vector<double> queue_;           // records waiting
+  std::vector<double> queue_capacity_;  // records
+  std::vector<bool> is_source_;
+  std::vector<bool> failed_;            // per worker
+
+  // Per-task static routing info.
+  std::vector<std::vector<TaskId>> down_tasks_;  // distinct downstream tasks (via channels)
+  std::vector<double> remote_fraction_;          // |Dr|/|D| under placement_
+  std::vector<std::vector<size_t>> worker_tasks_;  // task indices per worker
+
+  // Metric accumulators between flushes.
+  struct Accum {
+    double sum = 0.0;
+    double count = 0.0;
+    void Add(double v) {
+      sum += v;
+      ++count;
+    }
+    double MeanAndReset() {
+      double m = count > 0 ? sum / count : 0.0;
+      sum = 0.0;
+      count = 0.0;
+      return m;
+    }
+  };
+  std::vector<Accum> task_true_rate_;
+  std::vector<Accum> task_observed_rate_;
+  std::vector<Accum> op_emit_rate_;
+  std::vector<Accum> op_backpressure_;
+  std::vector<Accum> op_in_rate_;   // records/s processed by the operator's tasks
+  std::vector<Accum> op_out_rate_;  // records/s emitted by the operator's tasks
+  std::vector<double> op_in_sum_;    // per-tick scratch
+  std::vector<double> op_out_sum_;   // per-tick scratch
+  std::vector<double> op_emit_sum_;  // per-tick scratch (source ops)
+  std::vector<double> op_bp_sum_;    // per-tick scratch (source ops)
+  // Per-operator resource usage (CPU-seconds/s, bytes/s) — enables online cost profiling.
+  std::vector<Accum> op_cpu_used_;
+  std::vector<Accum> op_io_bps_;
+  std::vector<Accum> op_net_bps_;
+  std::vector<int> op_source_tasks_;  // number of source tasks per op (0 for non-sources)
+  std::vector<Accum> worker_cpu_util_;
+  std::vector<Accum> worker_io_util_;
+  std::vector<Accum> worker_net_util_;
+  // Absolute usage (CPU-seconds/s, bytes/s) — what the cost profiler normalizes by rate.
+  std::vector<Accum> worker_cpu_used_;
+  std::vector<Accum> worker_io_bps_;
+  std::vector<Accum> worker_net_bps_;
+  Accum total_throughput_;
+  Accum total_backpressure_;
+  Accum latency_;
+  Accum sink_rate_;
+  double last_flush_s_ = 0.0;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_SIMULATOR_FLUID_SIMULATOR_H_

@@ -1,0 +1,162 @@
+#include "src/statestore/state_store.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace capsys {
+namespace {
+
+size_t EntryBytes(const std::string& key, const std::string& value) {
+  return key.size() + value.size();
+}
+
+}  // namespace
+
+StateStore::StateStore(StateStoreOptions options) : options_(options) {
+  CAPSYS_CHECK(options_.memtable_flush_bytes > 0);
+  CAPSYS_CHECK(options_.max_runs >= 1);
+}
+
+void StateStore::Put(const std::string& key, const std::string& value) {
+  size_t bytes = EntryBytes(key, value);
+  stats_.user_bytes_written += bytes;
+  stats_.bytes_written += bytes;
+  auto [it, inserted] = memtable_.insert_or_assign(key, std::make_pair(value, false));
+  (void)it;
+  (void)inserted;
+  memtable_bytes_ += bytes;
+  MaybeFlush();
+}
+
+std::optional<std::string> StateStore::Get(const std::string& key) {
+  auto mit = memtable_.find(key);
+  if (mit != memtable_.end()) {
+    if (mit->second.second) {
+      return std::nullopt;
+    }
+    stats_.user_bytes_read += EntryBytes(key, mit->second.first);
+    stats_.bytes_read += EntryBytes(key, mit->second.first);
+    return mit->second.first;
+  }
+  const Entry* e = FindInRuns(key);
+  if (e == nullptr || e->tombstone) {
+    return std::nullopt;
+  }
+  stats_.user_bytes_read += EntryBytes(e->key, e->value);
+  stats_.bytes_read += EntryBytes(e->key, e->value);
+  return e->value;
+}
+
+void StateStore::Delete(const std::string& key) {
+  size_t bytes = key.size();
+  stats_.user_bytes_written += bytes;
+  stats_.bytes_written += bytes;
+  memtable_.insert_or_assign(key, std::make_pair(std::string(), true));
+  memtable_bytes_ += bytes;
+  MaybeFlush();
+}
+
+void StateStore::Scan(const std::string& from, const std::string& to,
+                      const std::function<void(const std::string&, const std::string&)>& fn) {
+  // Merge memtable and runs; newest wins. Collect into an ordered map for simplicity —
+  // scan ranges in the workloads are small (one window pane / session).
+  std::map<std::string, std::pair<std::string, bool>> merged;
+  for (const auto& run : runs_) {  // oldest first, later inserts overwrite
+    auto lo = std::lower_bound(run.begin(), run.end(), from,
+                               [](const Entry& e, const std::string& k) { return e.key < k; });
+    for (auto it = lo; it != run.end() && it->key < to; ++it) {
+      merged[it->key] = {it->value, it->tombstone};
+    }
+  }
+  for (auto it = memtable_.lower_bound(from); it != memtable_.end() && it->first < to; ++it) {
+    merged[it->first] = it->second;
+  }
+  for (const auto& [key, vt] : merged) {
+    if (!vt.second) {
+      stats_.user_bytes_read += EntryBytes(key, vt.first);
+      stats_.bytes_read += EntryBytes(key, vt.first);
+      fn(key, vt.first);
+    }
+  }
+}
+
+size_t StateStore::LiveKeyCount() {
+  size_t count = 0;
+  Scan("", "\xff\xff\xff\xff", [&count](const std::string&, const std::string&) { ++count; });
+  return count;
+}
+
+void StateStore::Clear() {
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  runs_.clear();
+}
+
+void StateStore::MaybeFlush() {
+  if (memtable_bytes_ >= options_.memtable_flush_bytes) {
+    Flush();
+    MaybeCompact();
+  }
+}
+
+void StateStore::Flush() {
+  if (memtable_.empty()) {
+    return;
+  }
+  Run run;
+  run.reserve(memtable_.size());
+  for (const auto& [key, vt] : memtable_) {
+    run.push_back(Entry{.key = key, .value = vt.first, .tombstone = vt.second});
+    stats_.bytes_written += EntryBytes(key, vt.first);
+  }
+  runs_.push_back(std::move(run));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  ++stats_.flushes;
+}
+
+void StateStore::MaybeCompact() {
+  if (static_cast<int>(runs_.size()) > options_.max_runs) {
+    Compact();
+  }
+}
+
+void StateStore::Compact() {
+  if (runs_.size() <= 1) {
+    return;
+  }
+  // Account compaction I/O: every surviving byte is read and rewritten.
+  std::map<std::string, Entry> merged;
+  for (const auto& run : runs_) {
+    for (const auto& e : run) {
+      stats_.bytes_read += EntryBytes(e.key, e.value);
+      merged[e.key] = e;
+    }
+  }
+  Run out;
+  out.reserve(merged.size());
+  for (auto& [key, e] : merged) {
+    if (!e.tombstone) {  // compaction to a single run drops tombstones
+      stats_.bytes_written += EntryBytes(key, e.value);
+      out.push_back(std::move(e));
+    }
+  }
+  runs_.clear();
+  runs_.push_back(std::move(out));
+  ++stats_.compactions;
+}
+
+const StateStore::Entry* StateStore::FindInRuns(const std::string& key) const {
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {  // newest run first
+    const Run& run = *rit;
+    auto it = std::lower_bound(run.begin(), run.end(), key,
+                               [](const Entry& e, const std::string& k) { return e.key < k; });
+    if (it != run.end() && it->key == key) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace capsys

@@ -1,0 +1,220 @@
+// Tests for operator chaining (src/dataflow/chaining.h) and the partitioned placement
+// search (src/caps/partitioned.h).
+#include <gtest/gtest.h>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/partitioned.h"
+#include "src/caps/search.h"
+#include "src/dataflow/chaining.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+
+namespace capsys {
+namespace {
+
+OperatorProfile Prof(double cpu_us, double io, double out, double sel, double gc = 0.0) {
+  OperatorProfile p;
+  p.cpu_per_record = cpu_us * 1e-6;
+  p.io_bytes_per_record = io;
+  p.out_bytes_per_record = out;
+  p.selectivity = sel;
+  p.stateful = io > 0;
+  p.gc_spike_fraction = gc;
+  return p;
+}
+
+// src -> map1 -> map2 -> window -> sink, all rebalance, equal parallelism except the window
+// boundary (hash).
+LogicalGraph ChainableGraph() {
+  LogicalGraph g("chainable");
+  OperatorId src = g.AddOperator("src", OperatorKind::kSource, Prof(10, 0, 100, 1.0), 2);
+  OperatorId m1 = g.AddOperator("m1", OperatorKind::kMap, Prof(20, 0, 120, 0.5), 4);
+  OperatorId m2 = g.AddOperator("m2", OperatorKind::kFilter, Prof(40, 0, 80, 0.5), 4);
+  OperatorId win = g.AddOperator("win", OperatorKind::kSlidingWindow, Prof(100, 5000, 60, 0.1), 4);
+  OperatorId sink = g.AddOperator("sink", OperatorKind::kSink, Prof(5, 0, 0, 1.0), 1);
+  g.AddEdge(src, m1, PartitionScheme::kRebalance);
+  g.AddEdge(m1, m2, PartitionScheme::kRebalance);
+  g.AddEdge(m2, win, PartitionScheme::kHash);
+  g.AddEdge(win, sink, PartitionScheme::kRebalance);
+  return g;
+}
+
+TEST(ChainingTest, FusesLinearRebalanceSegments) {
+  ChainingResult r = ChainOperators(ChainableGraph());
+  // m1->m2 fuse; the hash edge to win and the parallelism change win(4)->sink(1) block the
+  // rest; sources are never chained.
+  EXPECT_EQ(r.graph.num_operators(), 4);
+  EXPECT_EQ(r.chain_of[1], r.chain_of[2]);  // m1 and m2 share a chain
+  EXPECT_NE(r.chain_of[0], r.chain_of[1]);
+  EXPECT_NE(r.chain_of[2], r.chain_of[3]);
+  EXPECT_EQ(r.graph.Validate(), "");
+}
+
+TEST(ChainingTest, ChainProfileComposesCosts) {
+  ChainingResult r = ChainOperators(ChainableGraph());
+  const auto& chain = r.graph.op(r.chain_of[1]);
+  // Per chain-input record: m1 runs once (20us), m2 runs sel(m1)=0.5 times (40us * 0.5).
+  EXPECT_NEAR(chain.profile.cpu_per_record, 20e-6 + 0.5 * 40e-6, 1e-12);
+  // Chain selectivity = 0.5 * 0.5.
+  EXPECT_NEAR(chain.profile.selectivity, 0.25, 1e-12);
+  // Output record size comes from the last operator in the chain.
+  EXPECT_EQ(chain.profile.out_bytes_per_record, 80.0);
+  EXPECT_EQ(chain.parallelism, 4);
+  EXPECT_EQ(chain.name, "m1->m2");
+}
+
+TEST(ChainingTest, RatePropagationEquivalentAfterChaining) {
+  LogicalGraph g = ChainableGraph();
+  ChainingResult r = ChainOperators(g);
+  auto before = PropagateRates(g, 1000.0);
+  auto after = PropagateRates(r.graph, 1000.0);
+  // The window's input rate is unchanged by fusing its upstream chain.
+  OperatorId win_after = r.chain_of[3];
+  EXPECT_NEAR(after[static_cast<size_t>(win_after)].input_rate, before[3].input_rate, 1e-9);
+  EXPECT_NEAR(after[static_cast<size_t>(win_after)].output_rate, before[3].output_rate, 1e-9);
+}
+
+TEST(ChainingTest, HashEdgesNeverChain) {
+  LogicalGraph g("hash");
+  OperatorId a = g.AddOperator("a", OperatorKind::kSource, Prof(10, 0, 100, 1.0), 2);
+  OperatorId b = g.AddOperator("b", OperatorKind::kMap, Prof(10, 0, 100, 1.0), 2);
+  g.AddEdge(a, b, PartitionScheme::kHash);
+  ChainingResult r = ChainOperators(g);
+  EXPECT_EQ(r.graph.num_operators(), 2);
+}
+
+TEST(ChainingTest, ParallelismMismatchBlocksChain) {
+  LogicalGraph g("mismatch");
+  OperatorId a = g.AddOperator("a", OperatorKind::kMap, Prof(10, 0, 100, 1.0), 2);
+  OperatorId b = g.AddOperator("b", OperatorKind::kMap, Prof(10, 0, 100, 1.0), 3);
+  g.AddEdge(a, b, PartitionScheme::kRebalance);
+  ChainingResult r = ChainOperators(g);
+  EXPECT_EQ(r.graph.num_operators(), 2);
+}
+
+TEST(ChainingTest, FanOutBlocksChain) {
+  LogicalGraph g("fan");
+  OperatorId a = g.AddOperator("a", OperatorKind::kMap, Prof(10, 0, 100, 1.0), 2);
+  OperatorId b = g.AddOperator("b", OperatorKind::kMap, Prof(10, 0, 100, 1.0), 2);
+  OperatorId c = g.AddOperator("c", OperatorKind::kMap, Prof(10, 0, 100, 1.0), 2);
+  g.AddEdge(a, b, PartitionScheme::kRebalance);
+  g.AddEdge(a, c, PartitionScheme::kRebalance);
+  ChainingResult r = ChainOperators(g);
+  EXPECT_EQ(r.graph.num_operators(), 3);
+}
+
+TEST(ChainingTest, GcFractionIsCpuWeighted) {
+  LogicalGraph g("gc");
+  OperatorId a = g.AddOperator("a", OperatorKind::kMap, Prof(100, 0, 100, 1.0, 0.4), 2);
+  OperatorId b = g.AddOperator("b", OperatorKind::kMap, Prof(300, 0, 100, 1.0, 0.0), 2);
+  g.AddEdge(a, b, PartitionScheme::kRebalance);
+  ChainingResult r = ChainOperators(g);
+  ASSERT_EQ(r.graph.num_operators(), 1);
+  // gc = (100us * 0.4) / 400us = 0.1.
+  EXPECT_NEAR(r.graph.op(0).profile.gc_spike_fraction, 0.1, 1e-12);
+}
+
+TEST(ChainingTest, SearchWorksOnChainedGraph) {
+  ChainingResult r = ChainOperators(ChainableGraph());
+  PhysicalGraph physical = PhysicalGraph::Expand(r.graph);
+  Cluster cluster(3, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(r.graph, 1000.0);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  SearchResult result = CapsSearch(model, SearchOptions{}).Run();
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.best.placement.Validate(physical, cluster), "");
+}
+
+// --- Partitioned search --------------------------------------------------------------------------
+
+TEST(PartitionedTest, ProducesValidPlacementCoveringAllTasks) {
+  QuerySpec q = BuildQ2Join();
+  q.graph.SetParallelism({2, 2, 4, 6, 10});
+  Cluster cluster(8, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  auto demands = TaskDemands(physical, rates);
+  PartitionedOptions options;
+  options.num_partitions = 2;
+  PartitionedResult r = PartitionedPlacementSearch(physical, cluster, demands, options);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.placement.Validate(physical, cluster), "");
+  EXPECT_EQ(r.partitions.size(), 2u);
+  // Every operator appears in exactly one partition.
+  std::vector<int> seen(static_cast<size_t>(q.graph.num_operators()), 0);
+  for (const auto& part : r.partitions) {
+    for (OperatorId o : part) {
+      ++seen[static_cast<size_t>(o)];
+    }
+  }
+  for (int s : seen) {
+    EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(PartitionedTest, PartitionsUseDisjointWorkers) {
+  QuerySpec q = BuildQ2Join();
+  q.graph.SetParallelism({2, 2, 4, 6, 10});
+  Cluster cluster(8, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  auto demands = TaskDemands(physical, rates);
+  PartitionedOptions options;
+  options.num_partitions = 2;
+  PartitionedResult r = PartitionedPlacementSearch(physical, cluster, demands, options);
+  ASSERT_TRUE(r.found);
+  // Workers of partition-0 operators never host partition-1 tasks.
+  std::vector<int> partition_of_op(static_cast<size_t>(q.graph.num_operators()), -1);
+  for (size_t pi = 0; pi < r.partitions.size(); ++pi) {
+    for (OperatorId o : r.partitions[pi]) {
+      partition_of_op[static_cast<size_t>(o)] = static_cast<int>(pi);
+    }
+  }
+  std::vector<int> worker_partition(static_cast<size_t>(cluster.num_workers()), -1);
+  for (const auto& t : physical.tasks()) {
+    int pi = partition_of_op[static_cast<size_t>(t.op)];
+    WorkerId w = r.placement.WorkerOf(t.id);
+    if (worker_partition[static_cast<size_t>(w)] == -1) {
+      worker_partition[static_cast<size_t>(w)] = pi;
+    } else {
+      EXPECT_EQ(worker_partition[static_cast<size_t>(w)], pi);
+    }
+  }
+}
+
+TEST(PartitionedTest, InfeasibleWhenPartitionsNeedMoreWorkersThanExist) {
+  QuerySpec q = BuildQ2Join();
+  q.graph.SetParallelism({4, 4, 4, 4, 4});  // 20 tasks
+  Cluster cluster(5, WorkerSpec::R5dXlarge(4));  // exactly 20 slots, no slack
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  auto demands = TaskDemands(physical, rates);
+  PartitionedOptions options;
+  options.num_partitions = 5;  // per-partition ceilings exceed the 5 workers
+  PartitionedResult r = PartitionedPlacementSearch(physical, cluster, demands, options);
+  // Either a valid plan (if ceilings happen to fit) or a clean infeasibility — never a
+  // malformed placement.
+  if (r.found) {
+    EXPECT_EQ(r.placement.Validate(physical, cluster), "");
+  }
+}
+
+TEST(PartitionedTest, SinglePartitionMatchesWholeGraphQuality) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  auto demands = TaskDemands(physical, rates);
+  PartitionedOptions options;
+  options.num_partitions = 1;
+  PartitionedResult r = PartitionedPlacementSearch(physical, cluster, demands, options);
+  ASSERT_TRUE(r.found);
+  CostModel model(physical, cluster, demands);
+  // A single partition is just CAPS with auto-tuned thresholds: the io cost (the dominant
+  // dimension for Q1) must be near the global optimum.
+  SearchResult full = CapsSearch(model, SearchOptions{}).Run();
+  EXPECT_LE(model.Cost(r.placement).io, full.best.cost.io + 0.35);
+}
+
+}  // namespace
+}  // namespace capsys

@@ -1,0 +1,219 @@
+// Tests for the per-worker contention model (src/simulator/contention.h): proportional
+// sharing, per-thread caps, compaction interference, GC collisions, and utilization
+// accounting.
+#include <gtest/gtest.h>
+
+#include "src/simulator/contention.h"
+
+namespace capsys {
+namespace {
+
+WorkerSpec Spec() {
+  WorkerSpec spec;
+  spec.slots = 4;
+  spec.cpu_capacity = 4.0;
+  spec.io_bandwidth_bps = 200e6;
+  spec.net_bandwidth_bps = 1e9;
+  return spec;
+}
+
+TaskLoad CpuTask(double cpu_per_record, double desired) {
+  TaskLoad l;
+  l.cpu_per_record = cpu_per_record;
+  l.desired_rate = desired;
+  return l;
+}
+
+TEST(ContentionTest, EmptyWorker) {
+  WorkerAllocation a = SolveWorker(Spec(), ContentionParams{}, {});
+  EXPECT_TRUE(a.rate.empty());
+  EXPECT_EQ(a.utilization.cpu, 0.0);
+}
+
+TEST(ContentionTest, UncontendedTaskGetsDesiredRate) {
+  std::vector<TaskLoad> loads = {CpuTask(1e-4, 1000.0)};  // 0.1 cores
+  WorkerAllocation a = SolveWorker(Spec(), ContentionParams{}, loads);
+  EXPECT_NEAR(a.rate[0], 1000.0, 1e-9);
+  EXPECT_NEAR(a.utilization.cpu, 0.1 / 4.0, 1e-9);
+}
+
+TEST(ContentionTest, SingleThreadCapLimitsOneTask) {
+  // Task wants 20k rec/s at 100 us/rec = 2 cores, but a slot is one thread (1 core).
+  std::vector<TaskLoad> loads = {CpuTask(1e-4, 20000.0)};
+  WorkerAllocation a = SolveWorker(Spec(), ContentionParams{}, loads);
+  EXPECT_NEAR(a.rate[0], 10000.0, 1e-6);
+  EXPECT_NEAR(a.capacity_rate[0], 10000.0, 1e-6);
+}
+
+TEST(ContentionTest, CpuProportionalSharingWhenSaturated) {
+  // 6 tasks each demanding 1 core on a 4-core worker -> each gets 2/3.
+  std::vector<TaskLoad> loads;
+  WorkerSpec spec = Spec();
+  spec.slots = 6;
+  for (int i = 0; i < 6; ++i) {
+    loads.push_back(CpuTask(1e-4, 10000.0));
+  }
+  WorkerAllocation a = SolveWorker(spec, ContentionParams{}, loads);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(a.rate[static_cast<size_t>(i)], 10000.0 * 4.0 / 6.0, 1.0);
+  }
+  EXPECT_NEAR(a.utilization.cpu, 1.0, 1e-9);
+}
+
+TEST(ContentionTest, LightTaskUnaffectedByDimensionItDoesNotUse) {
+  // A pure-CPU task and a pure-IO task do not contend with each other.
+  TaskLoad cpu = CpuTask(1e-4, 10000.0);  // 1 core
+  TaskLoad io;
+  io.io_per_record = 20000;  // bytes/rec
+  io.desired_rate = 10000.0;  // 200 MB/s = full disk
+  io.stateful = true;
+  WorkerAllocation a = SolveWorker(Spec(), ContentionParams{}, {cpu, io});
+  EXPECT_NEAR(a.rate[0], 10000.0, 1e-6);
+  EXPECT_NEAR(a.rate[1], 10000.0, 1e-6);
+}
+
+TEST(ContentionTest, IoInterferenceShrinksBandwidth) {
+  ContentionParams params;
+  params.beta_io = 0.25;
+  TaskLoad io;
+  io.io_per_record = 10000;
+  io.desired_rate = 10000.0;  // 100 MB/s each
+  io.stateful = true;
+  // One stateful task: full 200 MB/s available.
+  WorkerAllocation solo = SolveWorker(Spec(), params, {io});
+  EXPECT_NEAR(solo.effective_io_bandwidth, 200e6, 1e-3);
+  EXPECT_NEAR(solo.rate[0], 10000.0, 1e-6);
+  // Three stateful tasks: effective bandwidth 200/(1+0.5) = 133 MB/s for 300 MB/s demand.
+  WorkerAllocation three = SolveWorker(Spec(), params, {io, io, io});
+  EXPECT_NEAR(three.effective_io_bandwidth, 200e6 / 1.5, 1e-3);
+  double total = three.rate[0] + three.rate[1] + three.rate[2];
+  EXPECT_NEAR(total * 10000, 200e6 / 1.5, 1e3);
+}
+
+TEST(ContentionTest, NonStatefulIoDoesNotTriggerInterference) {
+  ContentionParams params;
+  params.beta_io = 0.25;
+  TaskLoad io;
+  io.io_per_record = 10000;
+  io.desired_rate = 1000.0;
+  io.stateful = false;  // e.g. spill-free operator
+  WorkerAllocation a = SolveWorker(Spec(), params, {io, io, io});
+  EXPECT_NEAR(a.effective_io_bandwidth, 200e6, 1e-3);
+}
+
+TEST(ContentionTest, GcCollisionInflatesCpuCost) {
+  ContentionParams params;
+  params.gc_collide = 0.5;
+  TaskLoad inf = CpuTask(2e-3, 1000.0);  // solo cap 500/s before GC
+  inf.gc_fraction = 0.3;
+  // Solo: multiplier 1 + 0.3 = 1.3 -> cap ~384.6.
+  WorkerAllocation solo = SolveWorker(Spec(), params, {inf});
+  EXPECT_NEAR(solo.rate[0], 1.0 / (2e-3 * 1.3), 1e-6);
+  // Two co-located GC tasks: multiplier 1 + 0.3*(1 + 0.5) = 1.45 -> cap ~344.8 each.
+  WorkerAllocation pair = SolveWorker(Spec(), params, {inf, inf});
+  EXPECT_NEAR(pair.rate[0], 1.0 / (2e-3 * 1.45), 1e-6);
+  EXPECT_LT(pair.rate[0], solo.rate[0]);
+}
+
+TEST(ContentionTest, GcMultiplierIsCapped) {
+  ContentionParams params;
+  params.gc_collide = 10.0;
+  params.max_gc_multiplier = 2.0;
+  TaskLoad inf = CpuTask(1e-3, 1e6);
+  inf.gc_fraction = 0.9;
+  WorkerAllocation a = SolveWorker(Spec(), params, {inf, inf, inf, inf});
+  EXPECT_NEAR(a.rate[0], 1.0 / (1e-3 * 2.0), 1e-6);
+}
+
+TEST(ContentionTest, NetworkFairShare) {
+  TaskLoad net;
+  net.net_per_record = 100000;  // 100 KB per record cross-worker
+  net.desired_rate = 10000.0;   // 1 GB/s each, NIC is 1 GB/s
+  WorkerAllocation a = SolveWorker(Spec(), ContentionParams{}, {net, net});
+  EXPECT_NEAR((a.rate[0] + a.rate[1]) * 100000, 1e9, 1e4);
+  EXPECT_NEAR(a.utilization.net, 1.0, 1e-9);
+}
+
+TEST(ContentionTest, ZeroNetTaskUnaffectedByNicSaturation) {
+  TaskLoad net;
+  net.net_per_record = 200000;
+  net.desired_rate = 10000.0;
+  TaskLoad local = CpuTask(1e-5, 5000.0);
+  WorkerAllocation a = SolveWorker(Spec(), ContentionParams{}, {net, local});
+  EXPECT_NEAR(a.rate[1], 5000.0, 1e-6);
+}
+
+TEST(ContentionTest, CapacityRateAtLeastAllocatedRate) {
+  ContentionParams params;
+  std::vector<TaskLoad> loads;
+  for (int i = 0; i < 4; ++i) {
+    TaskLoad l = CpuTask(2e-4, 3000.0);
+    l.io_per_record = 5000;
+    l.stateful = true;
+    loads.push_back(l);
+  }
+  WorkerAllocation a = SolveWorker(Spec(), params, loads);
+  for (size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_GE(a.capacity_rate[i] + 1e-6, a.rate[i]);
+  }
+}
+
+TEST(ContentionTest, UtilizationNeverExceedsOne) {
+  ContentionParams params;
+  std::vector<TaskLoad> loads;
+  for (int i = 0; i < 8; ++i) {
+    TaskLoad l = CpuTask(5e-4, 1e5);
+    l.io_per_record = 50000;
+    l.net_per_record = 100000;
+    l.stateful = true;
+    l.gc_fraction = 0.2;
+    loads.push_back(l);
+  }
+  WorkerSpec spec = Spec();
+  spec.slots = 8;
+  WorkerAllocation a = SolveWorker(spec, params, loads);
+  EXPECT_LE(a.utilization.cpu, 1.0 + 1e-9);
+  EXPECT_LE(a.utilization.io, 1.0 + 1e-9);
+  EXPECT_LE(a.utilization.net, 1.0 + 1e-9);
+}
+
+// Parameterized sweep: total allocated rate never exceeds any capacity dimension, and
+// rates are monotone non-increasing in co-located task count.
+class ContentionSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContentionSweepTest, FeasibilityAndMonotonicity) {
+  int n = GetParam();
+  ContentionParams params;
+  WorkerSpec spec = Spec();
+  spec.slots = n;
+  TaskLoad l;
+  l.cpu_per_record = 3e-4;
+  l.io_per_record = 15000;
+  l.net_per_record = 20000;
+  l.desired_rate = 5000.0;
+  l.stateful = true;
+  l.gc_fraction = 0.1;
+  std::vector<TaskLoad> loads(static_cast<size_t>(n), l);
+  WorkerAllocation a = SolveWorker(spec, params, loads);
+  double cpu = 0.0;
+  double io = 0.0;
+  double net = 0.0;
+  for (double r : a.rate) {
+    cpu += r * l.cpu_per_record;  // lower bound: GC inflation only increases usage
+    io += r * l.io_per_record;
+    net += r * l.net_per_record;
+  }
+  EXPECT_LE(cpu, spec.cpu_capacity + 1e-6);
+  EXPECT_LE(io, a.effective_io_bandwidth + 1.0);
+  EXPECT_LE(net, spec.net_bandwidth_bps + 1.0);
+  if (n > 1) {
+    std::vector<TaskLoad> fewer(static_cast<size_t>(n - 1), l);
+    WorkerAllocation b = SolveWorker(spec, params, fewer);
+    EXPECT_LE(a.rate[0], b.rate[0] + 1e-6);  // more co-location never speeds a task up
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, ContentionSweepTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace capsys

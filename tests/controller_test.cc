@@ -1,0 +1,269 @@
+// Tests for the controller layer: DS2 scaling, cost profiling, deployment policies, and the
+// threshold auto-tuner / greedy placement helpers.
+#include <gtest/gtest.h>
+
+#include "src/caps/auto_tuner.h"
+#include "src/caps/greedy.h"
+#include "src/controller/deployment.h"
+#include "src/controller/ds2.h"
+#include "src/controller/profiler.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+
+namespace capsys {
+namespace {
+
+// --- DS2 -------------------------------------------------------------------------------------
+
+TEST(Ds2Test, SizesOperatorsToCeilOfRateRatio) {
+  QuerySpec q = BuildQ1Sliding();
+  std::vector<Ds2Observation> obs(4);
+  obs[0].true_rate_per_task = 10000;  // source: 14000 target -> p=2
+  obs[1].true_rate_per_task = 5000;   // map: in 14000 -> p=3
+  obs[2].true_rate_per_task = 2000;   // window: in 12600 -> p=7
+  obs[3].true_rate_per_task = 100000; // sink: in 630 -> p=1
+  Ds2Decision d = Ds2Scale(q.graph, q.source_rates, obs);
+  EXPECT_EQ(d.parallelism, (std::vector<int>{2, 3, 7, 1}));
+  EXPECT_TRUE(d.changed);
+}
+
+TEST(Ds2Test, UsesObservedSelectivityOverDeclared) {
+  QuerySpec q = BuildQ1Sliding();
+  std::vector<Ds2Observation> obs(4);
+  for (auto& o : obs) {
+    o.true_rate_per_task = 10000;
+  }
+  // Map observed selectivity 0.5 instead of the declared 0.9 -> window input halves.
+  obs[1].observed_input_rate = 1000;
+  obs[1].observed_output_rate = 500;
+  Ds2Decision d = Ds2Scale(q.graph, q.source_rates, obs);
+  // window in = 14000 * 0.5 = 7000 -> p=1 at rate 10000.
+  EXPECT_EQ(d.parallelism[2], 1);
+}
+
+TEST(Ds2Test, NoChangeWhenCurrentParallelismOptimal) {
+  QuerySpec q = BuildQ1Sliding();
+  q.graph.SetParallelism({2, 2, 2, 1});
+  std::vector<Ds2Observation> obs(4);
+  obs[0].true_rate_per_task = 7000;   // 14000/7000 = 2
+  obs[1].true_rate_per_task = 7000;   // 14000/7000 = 2
+  obs[2].true_rate_per_task = 6300;   // 12600/6300 = 2
+  obs[3].true_rate_per_task = 1000;   // 630/1000 -> 1
+  Ds2Decision d = Ds2Scale(q.graph, q.source_rates, obs);
+  EXPECT_FALSE(d.changed);
+}
+
+TEST(Ds2Test, ClampsToBounds) {
+  QuerySpec q = BuildQ1Sliding();
+  std::vector<Ds2Observation> obs(4);
+  for (auto& o : obs) {
+    o.true_rate_per_task = 1.0;  // would need absurd parallelism
+  }
+  Ds2Options options;
+  options.max_parallelism = 6;
+  Ds2Decision d = Ds2Scale(q.graph, q.source_rates, obs, options);
+  for (int p : d.parallelism) {
+    EXPECT_LE(p, 6);
+    EXPECT_GE(p, 1);
+  }
+}
+
+TEST(Ds2Test, ZeroTrueRateKeepsCurrentParallelism) {
+  QuerySpec q = BuildQ1Sliding();
+  std::vector<Ds2Observation> obs(4);  // all true rates 0 (no data)
+  Ds2Decision d = Ds2Scale(q.graph, q.source_rates, obs);
+  EXPECT_FALSE(d.changed);
+}
+
+// --- Profiler ---------------------------------------------------------------------------------
+
+TEST(ProfilerTest, MeasuredCostsApproximateGroundTruth) {
+  QuerySpec q = BuildQ1Sliding();
+  auto costs = ProfileOperators(q.graph, q.source_rates, WorkerSpec::R5dXlarge(4));
+  ASSERT_EQ(costs.size(), 4u);
+  // Map: pure CPU, no GC, no state -> measurement should be close to the declared profile.
+  EXPECT_NEAR(costs[1].cpu_per_record, 40e-6, 8e-6);
+  EXPECT_NEAR(costs[1].selectivity, 0.9, 0.05);
+  EXPECT_LT(costs[1].io_bytes_per_record, 1.0);
+  // Window: io-heavy.
+  EXPECT_NEAR(costs[2].io_bytes_per_record, 35000, 7000);
+  EXPECT_NEAR(costs[2].selectivity, 0.05, 0.01);
+}
+
+TEST(ProfilerTest, DemandsFromMeasuredCostsScaleWithRate) {
+  QuerySpec q = BuildQ1Sliding();
+  auto costs = ProfileOperators(q.graph, q.source_rates, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates_lo = PropagateRates(q.graph, 7000.0);
+  auto rates_hi = PropagateRates(q.graph, 14000.0);
+  auto d_lo = DemandsFromMeasuredCosts(physical, costs, rates_lo);
+  auto d_hi = DemandsFromMeasuredCosts(physical, costs, rates_hi);
+  for (size_t i = 0; i < d_lo.size(); ++i) {
+    EXPECT_NEAR(d_hi[i].cpu, 2.0 * d_lo[i].cpu, 1e-9);
+    EXPECT_NEAR(d_hi[i].io, 2.0 * d_lo[i].io, 1e-6);
+  }
+}
+
+// --- Auto-tuner --------------------------------------------------------------------------------
+
+TEST(AutoTunerTest, ResultIsFeasible) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  AutoTuneResult r = AutoTuneThresholds(model);
+  ASSERT_TRUE(r.feasible);
+  // The returned alpha must admit at least one plan.
+  SearchOptions options;
+  options.alpha = r.alpha;
+  options.find_first = true;
+  EXPECT_TRUE(CapsSearch(model, options).Run().found);
+}
+
+TEST(AutoTunerTest, ResultAdmitsNearOptimalPlans) {
+  QuerySpec q = BuildQ3Inf();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  AutoTuneResult tuned = AutoTuneThresholds(model);
+  ASSERT_TRUE(tuned.feasible);
+  SearchOptions options;
+  options.alpha = tuned.alpha;
+  SearchResult constrained = CapsSearch(model, options).Run();
+  SearchResult full = CapsSearch(model, SearchOptions{}).Run();
+  ASSERT_TRUE(constrained.found);
+  // The constrained optimum is within a modest factor of the global optimum.
+  EXPECT_LE(constrained.best.cost.Max(), full.best.cost.Max() * 2.0 + 0.1);
+}
+
+TEST(AutoTunerTest, HonorsTimeout) {
+  QuerySpec q = BuildQ2Join();
+  q.graph.SetParallelism({4, 4, 8, 8, 24});
+  Cluster cluster(16, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  AutoTuneOptions options;
+  options.timeout_s = 0.05;
+  options.probe_timeout_s = 0.01;
+  AutoTuneResult r = AutoTuneThresholds(model, options);
+  EXPECT_LT(r.elapsed_s, 2.0);
+}
+
+// --- Greedy ------------------------------------------------------------------------------------
+
+TEST(GreedyTest, ProducesValidPlacement) {
+  QuerySpec q = BuildQ5Aggregate();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  Placement plan = GreedyBalancedPlacement(model);
+  EXPECT_EQ(plan.Validate(physical, cluster), "");
+}
+
+TEST(GreedyTest, NearBalancedForHeavyOperators) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  Placement plan = GreedyBalancedPlacement(model);
+  // The 8 window tasks must be spread 2 per worker.
+  EXPECT_EQ(plan.ColocationDegree(physical, cluster, 2), 2);
+}
+
+TEST(GreedyTest, CostWithinRangeOfExhaustiveOptimum) {
+  QuerySpec q = BuildQ3Inf();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  Placement greedy = GreedyBalancedPlacement(model);
+  SearchResult best = CapsSearch(model, SearchOptions{}).Run();
+  ASSERT_TRUE(best.found);
+  // Greedy is not optimal but must be in the same ballpark on the dominant dimension.
+  EXPECT_LE(model.Cost(greedy).Max(), best.best.cost.Max() * 3.0 + 0.15);
+}
+
+// --- Deployment ---------------------------------------------------------------------------------
+
+TEST(DeploymentTest, CapsDeploymentIsValidAndBeatsBaselinesOnCost) {
+  Cluster cluster(4, WorkerSpec::M5d2xlarge(8));
+  QuerySpec q = BuildQ1Sliding();
+  q.ScaleRates(2.0);
+
+  DeployOptions caps_options;
+  caps_options.policy = PlacementPolicy::kCaps;
+  caps_options.use_ds2_sizing = true;
+  CapsysController caps(cluster, caps_options);
+  Deployment d = caps.Deploy(q);
+  EXPECT_EQ(d.placement.Validate(d.physical, cluster), "");
+  EXPECT_GT(d.physical.num_tasks(), 0);
+  EXPECT_GE(d.decision_time_s, 0.0);
+
+  auto op_rates = PropagateRates(d.graph, d.source_rates);
+  auto demands = DemandsFromMeasuredCosts(d.physical, d.costs, op_rates);
+  CostModel model(d.physical, cluster, demands);
+  ResourceVector caps_cost = model.Cost(d.placement);
+
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kFlinkDefault, PlacementPolicy::kFlinkEvenly}) {
+    DeployOptions options = caps_options;
+    options.policy = policy;
+    CapsysController controller(cluster, options);
+    Placement p = controller.Place(d.physical, demands, nullptr);
+    EXPECT_EQ(p.Validate(d.physical, cluster), "");
+    ResourceVector cost = model.Cost(p);
+    EXPECT_LE(caps_cost.Max(), cost.Max() + 1e-9)
+        << "CAPS cost should not exceed " << PolicyName(policy);
+  }
+}
+
+TEST(DeploymentTest, Ds2SizingFitsCluster) {
+  Cluster cluster(4, WorkerSpec::M5d2xlarge(8));
+  for (QuerySpec& q : BuildAllQueries()) {
+    q.ScaleRates(2.0);
+    DeployOptions options;
+    options.use_ds2_sizing = true;
+    CapsysController controller(cluster, options);
+    Deployment d = controller.Deploy(q);
+    EXPECT_LE(d.physical.num_tasks(), cluster.total_slots()) << q.graph.name();
+    EXPECT_EQ(d.placement.Validate(d.physical, cluster), "") << q.graph.name();
+  }
+}
+
+TEST(DeploymentTest, BaselinePoliciesVaryWithSeed) {
+  Cluster cluster(4, WorkerSpec::M5d2xlarge(8));
+  QuerySpec q = BuildQ1Sliding();
+  q.ScaleRates(2.0);
+  DeployOptions options;
+  options.policy = PlacementPolicy::kFlinkEvenly;
+  options.use_ds2_sizing = true;
+  options.seed = 1;
+  Deployment d1 = CapsysController(cluster, options).Deploy(q);
+  options.seed = 2;
+  Deployment d2 = CapsysController(cluster, options).Deploy(q);
+  EXPECT_FALSE(d1.placement == d2.placement);
+}
+
+TEST(DeploymentTest, StandaloneTaskRateUsesBindingResource) {
+  MeasuredCost cost;
+  cost.cpu_per_record = 1e-4;       // cap 10k
+  cost.io_bytes_per_record = 46000;  // cap 230e6/46000 = 5k  <- binding
+  cost.out_bytes_per_record = 10;
+  cost.selectivity = 1.0;
+  double rate = CapsysController::StandaloneTaskRate(cost, WorkerSpec::R5dXlarge(4));
+  EXPECT_NEAR(rate, 5000.0, 1.0);
+}
+
+TEST(DeploymentTest, PolicyNames) {
+  EXPECT_STREQ(PolicyName(PlacementPolicy::kCaps), "capsys");
+  EXPECT_STREQ(PolicyName(PlacementPolicy::kFlinkDefault), "default");
+  EXPECT_STREQ(PolicyName(PlacementPolicy::kFlinkEvenly), "evenly");
+}
+
+}  // namespace
+}  // namespace capsys

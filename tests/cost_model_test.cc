@@ -1,0 +1,176 @@
+// Tests for the CAPS cost model (Eq. 4-8 of the paper).
+#include <gtest/gtest.h>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/search.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+
+namespace capsys {
+namespace {
+
+// Two-operator graph: src (p=2, cpu-only) -> sink (p=2, io-only), hash edge.
+struct Fixture {
+  LogicalGraph graph{"fixture"};
+  Cluster cluster{2, WorkerSpec::R5dXlarge(4)};
+  PhysicalGraph physical;
+  std::vector<ResourceVector> demands;
+
+  Fixture() {
+    OperatorProfile src;
+    src.cpu_per_record = 100e-6;
+    src.out_bytes_per_record = 1000;
+    OperatorProfile snk;
+    snk.cpu_per_record = 0.0;  // pure-IO sink
+    snk.io_bytes_per_record = 5000;
+    snk.stateful = true;
+    snk.out_bytes_per_record = 0;
+    OperatorId a = graph.AddOperator("src", OperatorKind::kSource, src, 2);
+    OperatorId b = graph.AddOperator("snk", OperatorKind::kSink, snk, 2);
+    graph.AddEdge(a, b, PartitionScheme::kHash);
+    physical = PhysicalGraph::Expand(graph);
+    auto rates = PropagateRates(graph, 1000.0);  // 500 rec/s per src task
+    demands = TaskDemands(physical, rates);
+  }
+};
+
+TEST(CostModelTest, LminLmaxComputation) {
+  Fixture f;
+  CostModel model(f.physical, f.cluster, f.demands);
+  // Total cpu = 1000 * 100us = 0.1 cores over 2 workers.
+  EXPECT_NEAR(model.l_min().cpu, 0.05, 1e-12);
+  // L_max cpu: top-4 tasks by cpu = both sources (sinks are 0) = 0.1.
+  EXPECT_NEAR(model.l_max().cpu, 0.1, 1e-12);
+  // io: total = 1000 * 5000 = 5 MB/s; min 2.5 MB/s; max = both sinks = 5 MB/s.
+  EXPECT_NEAR(model.l_min().io, 2.5e6, 1e-6);
+  EXPECT_NEAR(model.l_max().io, 5e6, 1e-6);
+  // net: L_min = 0 by definition; L_max = top-4 U_net = both sources = 1 MB/s.
+  EXPECT_EQ(model.l_min().net, 0.0);
+  EXPECT_NEAR(model.l_max().net, 1e6, 1e-6);
+}
+
+TEST(CostModelTest, PerfectlyBalancedPlanHasZeroCpuIoCost) {
+  Fixture f;
+  CostModel model(f.physical, f.cluster, f.demands);
+  // One src and one snk per worker.
+  Placement plan(std::vector<WorkerId>{0, 1, 0, 1});
+  ResourceVector c = model.Cost(plan);
+  EXPECT_NEAR(c.cpu, 0.0, 1e-12);
+  EXPECT_NEAR(c.io, 0.0, 1e-12);
+  // Network: each src has 1 of 2 channels remote -> worker net load = 500*1000*0.5.
+  // C_net = 0.25e6 / 1e6.
+  EXPECT_NEAR(c.net, 0.25, 1e-9);
+}
+
+TEST(CostModelTest, WorstCasePlanHasUnitCost) {
+  Fixture f;
+  CostModel model(f.physical, f.cluster, f.demands);
+  // Both sources on worker 0, both sinks on worker 1.
+  Placement plan(std::vector<WorkerId>{0, 0, 1, 1});
+  ResourceVector c = model.Cost(plan);
+  EXPECT_NEAR(c.cpu, 1.0, 1e-9);
+  EXPECT_NEAR(c.io, 1.0, 1e-9);
+  // All channels remote: worker0 net = 2 * 500 * 1000 = 1e6 = L_max -> C_net = 1.
+  EXPECT_NEAR(c.net, 1.0, 1e-9);
+}
+
+TEST(CostModelTest, FullyColocatedPlanHasZeroNetCost) {
+  // One 4-slot worker cluster variant: everything local.
+  LogicalGraph g("tiny");
+  OperatorProfile p;
+  p.cpu_per_record = 1e-5;
+  p.out_bytes_per_record = 100;
+  OperatorId a = g.AddOperator("a", OperatorKind::kSource, p, 2);
+  OperatorId b = g.AddOperator("b", OperatorKind::kSink, p, 2);
+  g.AddEdge(a, b);
+  PhysicalGraph physical = PhysicalGraph::Expand(g);
+  Cluster cluster(2, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(g, 1000.0);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  Placement plan(std::vector<WorkerId>{0, 0, 0, 0});
+  EXPECT_NEAR(model.Cost(plan).net, 0.0, 1e-12);
+}
+
+TEST(CostModelTest, CostsAlwaysWithinUnitInterval) {
+  QuerySpec q = BuildQ3Inf();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  for (const auto& plan : EnumerateAllPlans(model)) {
+    for (Resource r : kAllResources) {
+      EXPECT_GE(plan.cost[r], -1e-9);
+      EXPECT_LE(plan.cost[r], 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(CostModelTest, DegenerateSingleWorkerIsZeroCost) {
+  LogicalGraph g("one");
+  OperatorProfile p;
+  p.cpu_per_record = 1e-5;
+  p.io_bytes_per_record = 100;
+  p.out_bytes_per_record = 100;
+  OperatorId a = g.AddOperator("a", OperatorKind::kSource, p, 2);
+  OperatorId b = g.AddOperator("b", OperatorKind::kSink, p, 2);
+  g.AddEdge(a, b);
+  PhysicalGraph physical = PhysicalGraph::Expand(g);
+  Cluster cluster(1, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(g, 1000.0);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  Placement plan(std::vector<WorkerId>{0, 0, 0, 0});
+  ResourceVector c = model.Cost(plan);
+  EXPECT_EQ(c.cpu, 0.0);
+  EXPECT_EQ(c.io, 0.0);
+  EXPECT_EQ(c.net, 0.0);
+}
+
+TEST(CostModelTest, LoadBoundInvertsCostOfLoad) {
+  Fixture f;
+  CostModel model(f.physical, f.cluster, f.demands);
+  ResourceVector alpha{0.3, 0.5, 0.7};
+  ResourceVector bound = model.LoadBound(alpha);
+  for (Resource r : kAllResources) {
+    EXPECT_NEAR(model.CostOfLoad(r, bound[r]), alpha[r], 1e-9);
+  }
+  // alpha >= 1 disables the bound.
+  ResourceVector loose = model.LoadBound(ResourceVector{1.0, 1.0, 1.0});
+  EXPECT_GT(loose.cpu, 1e100);
+}
+
+TEST(CostModelTest, OperatorDemandAggregatesTasks) {
+  Fixture f;
+  CostModel model(f.physical, f.cluster, f.demands);
+  ResourceVector src_demand = model.OperatorDemand(0);
+  EXPECT_NEAR(src_demand.cpu, 0.1, 1e-12);  // 2 tasks x 500 rec/s x 100us
+  ResourceVector snk_demand = model.OperatorDemand(1);
+  EXPECT_NEAR(snk_demand.io, 5e6, 1e-6);
+}
+
+TEST(CostModelTest, BetterCostLexicographicOnMaxThenSum) {
+  EXPECT_TRUE(BetterCost({0.1, 0.1, 0.1}, {0.2, 0.0, 0.0}));
+  EXPECT_FALSE(BetterCost({0.2, 0.0, 0.0}, {0.1, 0.1, 0.1}));
+  // Equal max: lower sum wins.
+  EXPECT_TRUE(BetterCost({0.2, 0.0, 0.0}, {0.2, 0.1, 0.0}));
+  EXPECT_FALSE(BetterCost({0.2, 0.1, 0.0}, {0.2, 0.1, 0.0}));  // equal is not better
+}
+
+TEST(CostModelTest, BalancedBeatsColocatedForHeavyOperator) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  auto plans = EnumerateAllPlans(model);
+  // Find the min-io-cost plan; its window co-location degree must be minimal (2 on 4x4).
+  size_t best = 0;
+  for (size_t i = 1; i < plans.size(); ++i) {
+    if (plans[i].cost.io < plans[best].cost.io) {
+      best = i;
+    }
+  }
+  EXPECT_EQ(plans[best].placement.ColocationDegree(physical, cluster, 2), 2);
+}
+
+}  // namespace
+}  // namespace capsys

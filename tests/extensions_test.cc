@@ -1,0 +1,209 @@
+// Tests for the extension features: threshold cache (offline precomputation), online cost
+// profiling, and the search ablation switches.
+#include <gtest/gtest.h>
+
+#include "src/caps/greedy.h"
+#include "src/caps/threshold_cache.h"
+#include "src/controller/deployment.h"
+#include "src/controller/profiler.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+#include "src/simulator/fluid_simulator.h"
+
+namespace capsys {
+namespace {
+
+// --- ThresholdCache ---------------------------------------------------------------------------
+
+TEST(ThresholdCacheTest, PrecomputeAndLookup) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  std::vector<std::vector<int>> scenarios = {{2, 5, 8, 1}, {1, 3, 4, 1}};
+  ThresholdCache cache;
+  cache.Precompute(q.graph, q.source_rates, cluster, scenarios);
+  EXPECT_EQ(cache.size(), 2u);
+  auto alpha = cache.Lookup({2, 5, 8, 1});
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_GT(alpha->cpu, 0.0);
+  EXPECT_LE(alpha->cpu, 1.0);
+  EXPECT_FALSE(cache.Lookup({9, 9, 9, 9}).has_value());
+}
+
+TEST(ThresholdCacheTest, SkipsScenariosThatDoNotFit) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(2, WorkerSpec::R5dXlarge(4));  // 8 slots
+  ThresholdCache cache;
+  cache.Precompute(q.graph, q.source_rates, cluster, {{4, 4, 8, 4}});  // 20 tasks
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ThresholdCacheTest, SerializeRoundTrip) {
+  ThresholdCache cache;
+  cache.Insert({1, 2, 3}, ResourceVector{0.1, 0.2, 0.3});
+  cache.Insert({4, 5, 6}, ResourceVector{0.4, 0.5, 0.6});
+  std::string text = cache.Serialize();
+  ThresholdCache restored;
+  ASSERT_TRUE(restored.Deserialize(text));
+  EXPECT_EQ(restored.size(), 2u);
+  auto alpha = restored.Lookup({1, 2, 3});
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_NEAR(alpha->io, 0.2, 1e-15);
+}
+
+TEST(ThresholdCacheTest, DeserializeRejectsGarbage) {
+  ThresholdCache cache;
+  EXPECT_FALSE(cache.Deserialize("not,numbers x y z\n"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ThresholdCacheTest, ScalingScenarioEnumeration) {
+  QuerySpec q = BuildQ3Inf();
+  auto scenarios = EnumerateScalingScenarios(q.graph, q.source_rates,
+                                             WorkerSpec::R5dXlarge(4), {0.5, 1.0, 2.0, 4.0});
+  EXPECT_GE(scenarios.size(), 2u);  // different rates need different parallelism
+  for (const auto& s : scenarios) {
+    EXPECT_EQ(s.size(), 4u);
+    for (int p : s) {
+      EXPECT_GE(p, 1);
+    }
+  }
+  // Higher rates require at least as much total parallelism: scenarios are deduplicated and
+  // sorted lexicographically, so just check min and max totals differ.
+  int min_total = 1 << 30;
+  int max_total = 0;
+  for (const auto& s : scenarios) {
+    int total = 0;
+    for (int p : s) {
+      total += p;
+    }
+    min_total = std::min(min_total, total);
+    max_total = std::max(max_total, total);
+  }
+  EXPECT_LT(min_total, max_total);
+}
+
+TEST(ThresholdCacheTest, DeploymentUsesCachedThresholds) {
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  // Cache an entry for the query's default parallelism with a recognizable alpha.
+  ThresholdCache cache;
+  cache.Insert({2, 5, 8, 1}, ResourceVector{0.37, 0.41, 0.93});
+  DeployOptions options;
+  options.policy = PlacementPolicy::kCaps;
+  options.use_ds2_sizing = false;  // keep the default parallelism so the cache key matches
+  options.threshold_cache = &cache;
+  CapsysController controller(cluster, options);
+  Deployment d = controller.Deploy(q);
+  EXPECT_NEAR(d.alpha.cpu, 0.37, 1e-12);
+  EXPECT_NEAR(d.alpha.net, 0.93, 1e-12);
+}
+
+// --- Online profiling ---------------------------------------------------------------------------
+
+TEST(OnlineProfilerTest, EstimatesMatchDeclaredCostsOnRunningQuery) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  FluidSimulator sim(physical, cluster, GreedyBalancedPlacement(model));
+  sim.SetAllSourceRates(10000.0);  // below saturation
+  sim.RunFor(90);
+
+  std::vector<MeasuredCost> previous(4);
+  auto costs = EstimateCostsOnline(sim, 30.0, sim.time_s(), previous);
+  EXPECT_NEAR(costs[1].cpu_per_record, 40e-6, 8e-6);       // map
+  EXPECT_NEAR(costs[1].selectivity, 0.9, 0.02);
+  EXPECT_NEAR(costs[2].io_bytes_per_record, 35000, 3500);  // window
+  EXPECT_NEAR(costs[2].selectivity, 0.05, 0.005);
+}
+
+TEST(OnlineProfilerTest, KeepsPreviousEstimateWhenNoTraffic) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  FluidSimulator sim(physical, cluster, GreedyBalancedPlacement(model));
+  sim.SetAllSourceRates(0.0);  // idle query
+  sim.RunFor(30);
+  std::vector<MeasuredCost> previous(4);
+  previous[1].cpu_per_record = 123e-6;
+  auto costs = EstimateCostsOnline(sim, 0.0, sim.time_s(), previous);
+  EXPECT_EQ(costs[1].cpu_per_record, 123e-6);
+}
+
+TEST(OnlineProfilerTest, TracksRateChanges) {
+  // Unit costs must be rate-invariant: estimates at two different rates agree.
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  FluidSimulator sim(physical, cluster, GreedyBalancedPlacement(model));
+  std::vector<MeasuredCost> previous(4);
+  sim.SetAllSourceRates(4000.0);
+  sim.RunFor(60);
+  auto low = EstimateCostsOnline(sim, 30.0, sim.time_s(), previous);
+  double mark = sim.time_s();
+  sim.SetAllSourceRates(10000.0);
+  sim.RunFor(60);
+  auto high = EstimateCostsOnline(sim, mark + 30.0, sim.time_s(), previous);
+  EXPECT_NEAR(low[2].io_bytes_per_record, high[2].io_bytes_per_record,
+              0.05 * low[2].io_bytes_per_record);
+}
+
+// --- Search ablation switches ---------------------------------------------------------------------
+
+TEST(SearchAblationTest, DisablingDedupMultipliesLeavesBySymmetryFactor) {
+  // 1 op with 2 tasks on 3 workers: 2 distinct plans (co-located / split), but without
+  // symmetry breaking: 3 co-located + 3 split = 9 assignments... per-task enumeration
+  // counts ordered assignments: 3 (both same) + 6 (ordered pairs) = 9.
+  LogicalGraph g("tiny");
+  OperatorProfile p;
+  p.cpu_per_record = 1e-5;
+  g.AddOperator("a", OperatorKind::kSource, p, 2);
+  PhysicalGraph physical = PhysicalGraph::Expand(g);
+  Cluster cluster(3, WorkerSpec::R5dXlarge(2));
+  CostModel model(physical, cluster,
+                  TaskDemands(physical, PropagateRates(g, 100.0)));
+  SearchOptions with;
+  SearchOptions without;
+  without.eliminate_duplicates = false;
+  SearchResult a = CapsSearch(model, with).Run();
+  SearchResult b = CapsSearch(model, without).Run();
+  EXPECT_EQ(a.stats.leaves, 2u);
+  EXPECT_GT(b.stats.leaves, a.stats.leaves);
+}
+
+TEST(SearchAblationTest, ValueOrderingPreservesLeafCount) {
+  QuerySpec q = BuildQ2Join();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  SearchOptions on;
+  SearchOptions off;
+  off.value_ordering = false;
+  SearchResult a = CapsSearch(model, on).Run();
+  SearchResult b = CapsSearch(model, off).Run();
+  EXPECT_EQ(a.stats.leaves, b.stats.leaves);
+  EXPECT_EQ(a.stats.leaves, 665u);
+}
+
+TEST(SearchAblationTest, ValueOrderingFindsBalancedPlanFirst) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph physical = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(physical, cluster, TaskDemands(physical, rates));
+  SearchOptions options;
+  options.find_first = true;  // alpha = 1: any plan satisfies; ordering decides which
+  SearchResult r = CapsSearch(model, options).Run();
+  ASSERT_TRUE(r.found);
+  // The first plan must spread the window tasks evenly (2 per worker).
+  EXPECT_EQ(r.best.placement.ColocationDegree(physical, cluster, 2), 2);
+}
+
+}  // namespace
+}  // namespace capsys

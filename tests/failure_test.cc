@@ -1,0 +1,105 @@
+// Tests for failure injection in the simulator and the recovery experiment driver.
+#include <gtest/gtest.h>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/greedy.h"
+#include "src/controller/failure_experiments.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+#include "src/simulator/fluid_simulator.h"
+
+namespace capsys {
+namespace {
+
+TEST(FailureInjectionTest, FailedWorkerStopsProcessing) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  FluidSimulator sim(graph, cluster, GreedyBalancedPlacement(model));
+  sim.SetAllSourceRates(10000.0);
+  sim.RunFor(30);
+  double before = sim.Summarize(sim.time_s() - 15, sim.time_s()).throughput;
+  sim.FailWorker(0);
+  EXPECT_TRUE(sim.IsWorkerFailed(0));
+  sim.RunFor(30);
+  double after = sim.Summarize(sim.time_s() - 15, sim.time_s()).throughput;
+  EXPECT_NEAR(before, 10000.0, 100.0);
+  EXPECT_LT(after, before * 0.8);  // the pipeline stalls behind the dead worker
+}
+
+TEST(FailureInjectionTest, RestoreResumesProcessing) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  FluidSimulator sim(graph, cluster, GreedyBalancedPlacement(model));
+  sim.SetAllSourceRates(8000.0);
+  sim.RunFor(20);
+  sim.FailWorker(1);
+  sim.RunFor(20);
+  sim.RestoreWorker(1);
+  EXPECT_FALSE(sim.IsWorkerFailed(1));
+  sim.RunFor(40);
+  double t = sim.time_s();
+  EXPECT_NEAR(sim.Summarize(t - 15, t).throughput, 8000.0, 200.0);
+}
+
+TEST(FailureInjectionTest, FailedSourceWorkerStopsEmission) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(5));  // 5 slots: 14 non-source tasks fit on 3
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  // Put both source tasks on worker 3.
+  Placement plan(graph.num_tasks());
+  int w = 0;
+  for (const auto& t : graph.tasks()) {
+    plan.Assign(t.id, t.op == 0 ? 3 : (w++ % 3));
+  }
+  ASSERT_EQ(plan.Validate(graph, cluster), "");
+  FluidSimulator sim(graph, cluster, plan);
+  sim.SetAllSourceRates(8000.0);
+  sim.RunFor(20);
+  sim.FailWorker(3);
+  sim.RunFor(20);
+  double t = sim.time_s();
+  EXPECT_LT(sim.Summarize(t - 10, t).throughput, 100.0);
+}
+
+TEST(FailureRecoveryTest, CapsRecoversToTarget) {
+  Cluster cluster(6, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  FailureExperimentOptions options;
+  options.policy = PlacementPolicy::kCaps;
+  options.fail_at_s = 60.0;
+  options.run_s = 240.0;
+  FailureRun run = RunFailureRecoveryExperiment(q, cluster, options);
+  EXPECT_NEAR(run.throughput_before, q.TotalTargetRate(), q.TotalTargetRate() * 0.05);
+  EXPECT_LT(run.throughput_during, run.throughput_before);
+  EXPECT_TRUE(run.recovered);
+  EXPECT_GT(run.recovery_time_s, 0.0);
+  EXPECT_NEAR(run.throughput_after, q.TotalTargetRate(), q.TotalTargetRate() * 0.05);
+}
+
+TEST(FailureRecoveryTest, VictimIsBusiestWorker) {
+  Cluster cluster(6, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  FailureExperimentOptions options;
+  options.fail_at_s = 30.0;
+  options.run_s = 120.0;
+  FailureRun run = RunFailureRecoveryExperiment(q, cluster, options);
+  EXPECT_GE(run.victim, 0);
+  EXPECT_LT(run.victim, cluster.num_workers());
+  ASSERT_FALSE(run.timeline.empty());
+  // Timeline is monotone and covers the full run.
+  double prev = 0.0;
+  for (const auto& p : run.timeline) {
+    EXPECT_GT(p.time_s, prev);
+    prev = p.time_s;
+  }
+  EXPECT_GE(prev, options.run_s - 10.0);
+}
+
+}  // namespace
+}  // namespace capsys

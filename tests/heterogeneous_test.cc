@@ -1,0 +1,217 @@
+// Tests for heterogeneous-cluster support (an extension beyond the paper's homogeneous
+// model): spec-restricted duplicate elimination, capacity-aware canonical keys, and
+// end-to-end placement on mixed hardware.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/greedy.h"
+#include "src/caps/search.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+#include "src/simulator/fluid_simulator.h"
+
+namespace capsys {
+namespace {
+
+Cluster MixedCluster() {
+  // Two big workers and two small ones.
+  std::vector<WorkerSpec> specs = {WorkerSpec::M5d2xlarge(8), WorkerSpec::M5d2xlarge(8),
+                                   WorkerSpec::R5dXlarge(4), WorkerSpec::R5dXlarge(4)};
+  return Cluster(std::move(specs));
+}
+
+// Brute-force distinct plans on a (possibly heterogeneous) cluster via canonical keys.
+int BruteForceDistinctPlans(const PhysicalGraph& graph, const Cluster& cluster) {
+  int n = graph.num_tasks();
+  int w = cluster.num_workers();
+  std::set<std::string> keys;
+  std::vector<WorkerId> assign(static_cast<size_t>(n), 0);
+  while (true) {
+    Placement plan(assign);
+    if (plan.Validate(graph, cluster).empty()) {
+      keys.insert(plan.CanonicalKey(graph, cluster));
+    }
+    int i = 0;
+    for (; i < n; ++i) {
+      if (++assign[static_cast<size_t>(i)] < w) {
+        break;
+      }
+      assign[static_cast<size_t>(i)] = 0;
+    }
+    if (i == n) {
+      break;
+    }
+  }
+  return static_cast<int>(keys.size());
+}
+
+TEST(HeterogeneousClusterTest, BasicProperties) {
+  Cluster c = MixedCluster();
+  EXPECT_FALSE(c.IsHomogeneous());
+  EXPECT_EQ(c.total_slots(), 24);
+  EXPECT_EQ(c.slots_per_worker(), 8);  // largest worker
+  EXPECT_TRUE(Cluster(3, WorkerSpec::R5dXlarge(4)).IsHomogeneous());
+}
+
+TEST(HeterogeneousClusterTest, SearchMatchesBruteForceOnMixedHardware) {
+  // Small instance: 2-op chain on a 2-big + 1-small cluster.
+  LogicalGraph g("hetero");
+  OperatorProfile p;
+  p.cpu_per_record = 1e-5;
+  p.out_bytes_per_record = 100;
+  OperatorId a = g.AddOperator("a", OperatorKind::kSource, p, 2);
+  OperatorId b = g.AddOperator("b", OperatorKind::kSink, p, 3);
+  g.AddEdge(a, b);
+  PhysicalGraph graph = PhysicalGraph::Expand(g);
+  std::vector<WorkerSpec> specs = {WorkerSpec::M5d2xlarge(3), WorkerSpec::M5d2xlarge(3),
+                                   WorkerSpec::R5dXlarge(2)};
+  Cluster cluster(std::move(specs));
+  CostModel model(graph, cluster, TaskDemands(graph, PropagateRates(g, 1000.0)));
+  auto plans = EnumerateAllPlans(model);
+  int expected = BruteForceDistinctPlans(graph, cluster);
+  EXPECT_EQ(static_cast<int>(plans.size()), expected);
+  // No duplicates among enumerated plans.
+  std::set<std::string> keys;
+  for (const auto& plan : plans) {
+    EXPECT_TRUE(keys.insert(plan.placement.CanonicalKey(graph, cluster)).second);
+  }
+}
+
+TEST(HeterogeneousClusterTest, MoreDistinctPlansThanHomogeneousEquivalent) {
+  // Breaking homogeneity reduces symmetry, so there are strictly more distinct plans.
+  LogicalGraph g("hetero2");
+  OperatorProfile p;
+  p.cpu_per_record = 1e-5;
+  p.out_bytes_per_record = 100;
+  OperatorId a = g.AddOperator("a", OperatorKind::kSource, p, 2);
+  OperatorId b = g.AddOperator("b", OperatorKind::kSink, p, 2);
+  g.AddEdge(a, b);
+  PhysicalGraph graph = PhysicalGraph::Expand(g);
+  auto rates = PropagateRates(g, 1000.0);
+
+  Cluster homo(3, WorkerSpec::R5dXlarge(2));
+  CostModel homo_model(graph, homo, TaskDemands(graph, rates));
+  size_t homo_plans = EnumerateAllPlans(homo_model).size();
+
+  std::vector<WorkerSpec> specs = {WorkerSpec::R5dXlarge(2), WorkerSpec::R5dXlarge(2),
+                                   WorkerSpec::M5d2xlarge(2)};
+  Cluster hetero(std::move(specs));
+  CostModel hetero_model(graph, hetero, TaskDemands(graph, rates));
+  size_t hetero_plans = EnumerateAllPlans(hetero_model).size();
+  EXPECT_GT(hetero_plans, homo_plans);
+}
+
+TEST(HeterogeneousClusterTest, GreedyAndSearchProduceValidPlans) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster = MixedCluster();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  Placement greedy = GreedyBalancedPlacement(model);
+  EXPECT_EQ(greedy.Validate(graph, cluster), "");
+  SearchOptions options;
+  options.find_first = true;
+  SearchResult r = CapsSearch(model, options).Run();
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.best.placement.Validate(graph, cluster), "");
+}
+
+TEST(HeterogeneousClusterTest, SimulatorRespectsPerWorkerCapacities) {
+  // One heavy CPU task on a small worker vs on a big worker.
+  LogicalGraph g("cap");
+  OperatorProfile heavy;
+  heavy.cpu_per_record = 1e-3;  // solo thread cap: 1000 rec/s
+  g.AddOperator("src", OperatorKind::kSource, heavy, 2);
+  PhysicalGraph graph = PhysicalGraph::Expand(g);
+  std::vector<WorkerSpec> specs = {WorkerSpec::C5d4xlarge(4), WorkerSpec::R5dXlarge(4)};
+  Cluster cluster(std::move(specs));
+  // Both tasks on the small (4-core) worker still fit (2 cores of demand at 1000/s each).
+  Placement plan(std::vector<WorkerId>{1, 1});
+  FluidSimulator sim(graph, cluster, plan);
+  sim.SetAllSourceRates(1600.0);
+  QuerySummary s = sim.RunMeasured(20, 40);
+  EXPECT_NEAR(s.throughput, 1600.0, 20.0);
+}
+
+TEST(HeterogeneousClusterTest, CanonicalKeyDistinguishesSpecPlacement) {
+  // Same task multiset on a big vs small worker must be distinct plans.
+  LogicalGraph g("pair");
+  OperatorProfile p;
+  p.cpu_per_record = 1e-5;
+  g.AddOperator("a", OperatorKind::kSource, p, 1);
+  PhysicalGraph graph = PhysicalGraph::Expand(g);
+  std::vector<WorkerSpec> specs = {WorkerSpec::M5d2xlarge(2), WorkerSpec::R5dXlarge(2)};
+  Cluster cluster(std::move(specs));
+  Placement on_big(std::vector<WorkerId>{0});
+  Placement on_small(std::vector<WorkerId>{1});
+  EXPECT_NE(on_big.CanonicalKey(graph, cluster), on_small.CanonicalKey(graph, cluster));
+}
+
+TEST(CapacityNormalizedModelTest, EqualsAbsoluteModelOnHomogeneousClusters) {
+  // On homogeneous hardware, normalization divides all loads and both L bounds by the same
+  // constants, so every plan's cost vector is identical in both models.
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto demands = TaskDemands(graph, PropagateRates(q.graph, q.source_rates));
+  CostModel absolute(graph, cluster, demands);
+  CostModelOptions options;
+  options.normalize_by_capacity = true;
+  CostModel normalized(graph, cluster, demands, options);
+  auto plans = EnumerateAllPlans(absolute);
+  for (size_t i = 0; i < plans.size(); i += 11) {
+    ResourceVector a = absolute.Cost(plans[i].placement);
+    ResourceVector b = normalized.Cost(plans[i].placement);
+    EXPECT_NEAR(a.cpu, b.cpu, 1e-9);
+    EXPECT_NEAR(a.io, b.io, 1e-9);
+    EXPECT_NEAR(a.net, b.net, 1e-9);
+  }
+}
+
+TEST(CapacityNormalizedModelTest, PrefersBigWorkersForHeavyTasks) {
+  QuerySpec q = BuildQ1Sliding();
+  q.graph.SetParallelism({2, 6, 10, 1});
+  std::vector<WorkerSpec> specs = {WorkerSpec::M5d2xlarge(8), WorkerSpec::M5d2xlarge(8),
+                                   WorkerSpec::R5dXlarge(4), WorkerSpec::R5dXlarge(4),
+                                   WorkerSpec::R5dXlarge(4), WorkerSpec::R5dXlarge(4)};
+  Cluster cluster(std::move(specs));
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto demands = TaskDemands(graph, PropagateRates(q.graph, q.source_rates));
+  CostModelOptions options;
+  options.normalize_by_capacity = true;
+  CostModel model(graph, cluster, demands, options);
+  SearchResult r = CapsSearch(model, SearchOptions{}).Run();
+  ASSERT_TRUE(r.found);
+  // The big workers (2x the disk) should host more than their per-worker share of the 10
+  // I/O-heavy window tasks.
+  int on_big = 0;
+  for (TaskId t : graph.TasksOf(2)) {
+    on_big += r.best.placement.WorkerOf(t) < 2 ? 1 : 0;
+  }
+  EXPECT_GE(on_big, 4);  // 2 of 6 workers but >= 40% of the window tasks
+}
+
+TEST(CapacityNormalizedModelTest, SearchIncrementalCostsMatchModel) {
+  QuerySpec q = BuildQ3Inf();
+  std::vector<WorkerSpec> specs = {WorkerSpec::M5d2xlarge(6), WorkerSpec::R5dXlarge(4),
+                                   WorkerSpec::R5dXlarge(4)};
+  Cluster cluster(std::move(specs));
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto demands = TaskDemands(graph, PropagateRates(q.graph, q.source_rates));
+  CostModelOptions options;
+  options.normalize_by_capacity = true;
+  CostModel model(graph, cluster, demands, options);
+  auto plans = EnumerateAllPlans(model);
+  ASSERT_FALSE(plans.empty());
+  for (size_t i = 0; i < plans.size(); i += 97) {
+    ResourceVector direct = model.Cost(plans[i].placement);
+    EXPECT_NEAR(plans[i].cost.cpu, direct.cpu, 1e-9);
+    EXPECT_NEAR(plans[i].cost.io, direct.io, 1e-9);
+    EXPECT_NEAR(plans[i].cost.net, direct.net, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace capsys

@@ -1,0 +1,177 @@
+// Tests for the Nexmark event generator and the six evaluation queries.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/nexmark/generator.h"
+#include "src/nexmark/queries.h"
+
+namespace capsys {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  NexmarkGenerator a;
+  NexmarkGenerator b;
+  for (int i = 0; i < 500; ++i) {
+    Event ea = a.Next();
+    Event eb = b.Next();
+    EXPECT_EQ(ea.kind, eb.kind);
+    EXPECT_EQ(ea.timestamp_ms, eb.timestamp_ms);
+    if (ea.kind == Event::Kind::kBid) {
+      EXPECT_EQ(ea.bid().auction, eb.bid().auction);
+      EXPECT_EQ(ea.bid().price, eb.bid().price);
+    }
+  }
+}
+
+TEST(GeneratorTest, ProportionsMatchConfig) {
+  NexmarkGenerator gen;
+  std::map<Event::Kind, int> counts;
+  for (const Event& e : gen.Take(5000)) {
+    ++counts[e.kind];
+  }
+  EXPECT_EQ(counts[Event::Kind::kPerson], 100);
+  EXPECT_EQ(counts[Event::Kind::kAuction], 300);
+  EXPECT_EQ(counts[Event::Kind::kBid], 4600);
+}
+
+TEST(GeneratorTest, TimestampsMonotoneAtConfiguredRate) {
+  GeneratorConfig config;
+  config.events_per_second = 2000;
+  NexmarkGenerator gen(config);
+  int64_t prev = -1;
+  for (const Event& e : gen.Take(4000)) {
+    EXPECT_GE(e.timestamp_ms, prev);
+    prev = e.timestamp_ms;
+  }
+  EXPECT_NEAR(static_cast<double>(prev), 2000.0, 5.0);  // 4000 events at 2k/s ~ 2s
+}
+
+TEST(GeneratorTest, BidsReferenceExistingAuctions) {
+  NexmarkGenerator gen;
+  for (const Event& e : gen.Take(2000)) {
+    if (e.kind == Event::Kind::kBid) {
+      EXPECT_GE(e.bid().auction, 1000);
+      EXPECT_LT(e.bid().auction, gen.next_auction_id());
+    }
+  }
+}
+
+TEST(GeneratorTest, HotBidSkewConcentratesAuctions) {
+  GeneratorConfig hot;
+  hot.hot_bid_fraction = 0.9;
+  hot.hot_auctions = 2;
+  NexmarkGenerator gen(hot);
+  gen.Take(1000);  // warm up the auction id space
+  // A bid is "hot" relative to the auctions that existed when it was generated, so track
+  // the max auction id as the stream progresses.
+  int64_t max_auction = gen.next_auction_id() - 1;
+  int hot_count = 0;
+  int bids = 0;
+  for (const Event& e : gen.Take(2000)) {
+    if (e.kind == Event::Kind::kAuction) {
+      max_auction = e.auction().id;
+    } else if (e.kind == Event::Kind::kBid) {
+      ++bids;
+      if (e.bid().auction >= max_auction - 4) {
+        ++hot_count;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(hot_count) / bids, 0.5);
+
+  // Without skew the same window captures only a tiny fraction.
+  NexmarkGenerator uniform;
+  uniform.Take(1000);
+  max_auction = uniform.next_auction_id() - 1;
+  int uniform_hot = 0;
+  bids = 0;
+  for (const Event& e : uniform.Take(2000)) {
+    if (e.kind == Event::Kind::kAuction) {
+      max_auction = e.auction().id;
+    } else if (e.kind == Event::Kind::kBid) {
+      ++bids;
+      if (e.bid().auction >= max_auction - 4) {
+        ++uniform_hot;
+      }
+    }
+  }
+  EXPECT_LT(static_cast<double>(uniform_hot) / bids, 0.2);
+}
+
+TEST(GeneratorTest, PersonsHaveCredibleFields) {
+  NexmarkGenerator gen;
+  for (const Event& e : gen.Take(500)) {
+    if (e.kind == Event::Kind::kPerson) {
+      EXPECT_FALSE(e.person().name.empty());
+      EXPECT_NE(e.person().email.find('@'), std::string::npos);
+    }
+  }
+}
+
+// --- Queries ---------------------------------------------------------------------------------
+
+TEST(QueriesTest, AllQueriesValidate) {
+  for (const QuerySpec& q : BuildAllQueries()) {
+    EXPECT_EQ(q.graph.Validate(), "") << q.graph.name();
+    EXPECT_FALSE(q.source_rates.empty()) << q.graph.name();
+    EXPECT_GT(q.TotalTargetRate(), 0.0) << q.graph.name();
+    // Every configured source rate refers to an actual source operator.
+    auto sources = q.graph.SourceIds();
+    for (const auto& [op, r] : q.source_rates) {
+      EXPECT_NE(std::find(sources.begin(), sources.end(), op), sources.end());
+    }
+  }
+}
+
+TEST(QueriesTest, MotivationClusterParallelismsFit) {
+  // Q1-Q3 defaults must fit the 4-worker x 4-slot motivation cluster.
+  EXPECT_LE(BuildQ1Sliding().graph.total_parallelism(), 16);
+  EXPECT_LE(BuildQ2Join().graph.total_parallelism(), 16);
+  EXPECT_LE(BuildQ3Inf().graph.total_parallelism(), 16);
+}
+
+TEST(QueriesTest, StatefulOperatorsMarked) {
+  QuerySpec q1 = BuildQ1Sliding();
+  EXPECT_TRUE(q1.graph.op(2).profile.stateful);  // sliding window
+  QuerySpec q2 = BuildQ2Join();
+  EXPECT_TRUE(q2.graph.op(4).profile.stateful);  // window join
+  QuerySpec q6 = BuildQ6Session();
+  EXPECT_TRUE(q6.graph.op(2).profile.stateful);  // session window
+}
+
+TEST(QueriesTest, InferenceIsComputeAndGcHeavy) {
+  QuerySpec q = BuildQ3Inf();
+  const auto& inf = q.graph.op(2).profile;
+  EXPECT_GT(inf.cpu_per_record, 1e-3);
+  EXPECT_GT(inf.gc_spike_fraction, 0.0);
+  // Decode moves large records (network-intensive under capped NICs).
+  EXPECT_GT(q.graph.op(1).profile.out_bytes_per_record, 50000.0);
+}
+
+TEST(QueriesTest, ScaleRatesMultipliesAllSources) {
+  QuerySpec q = BuildQ2Join();
+  double before = q.TotalTargetRate();
+  q.ScaleRates(2.5);
+  EXPECT_NEAR(q.TotalTargetRate(), before * 2.5, 1e-6);
+}
+
+TEST(QueriesTest, BuildByNameAliases) {
+  EXPECT_EQ(BuildQueryByName("q1").graph.name(), "q1-sliding");
+  EXPECT_EQ(BuildQueryByName("q3-inf").graph.name(), "q3-inf");
+  EXPECT_EQ(BuildQueryByName("q5").graph.name(), "q5-aggregate");
+}
+
+TEST(QueriesTest, BuildByNameUnknownDies) {
+  EXPECT_DEATH(BuildQueryByName("q99"), "unknown query");
+}
+
+TEST(QueriesTest, OperatorKindNamesCovered) {
+  EXPECT_STREQ(OperatorKindName(OperatorKind::kSource), "source");
+  EXPECT_STREQ(OperatorKindName(OperatorKind::kInference), "inference");
+  EXPECT_STREQ(OperatorKindName(OperatorKind::kSessionWindow), "session_window");
+  EXPECT_STREQ(PartitionSchemeName(PartitionScheme::kHash), "hash");
+}
+
+}  // namespace
+}  // namespace capsys

@@ -1,0 +1,287 @@
+// Tests for the record-level runtime: bounded queue semantics, operator correctness against
+// reference implementations, pipeline parallelism, and backpressure without record loss.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "src/nexmark/generator.h"
+#include "src/runtime/bounded_queue.h"
+#include "src/runtime/pipeline.h"
+
+namespace capsys {
+namespace {
+
+// --- BoundedQueue ----------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.Push(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.Pop(), i);
+  }
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(10);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+  EXPECT_FALSE(q.Push(3));
+}
+
+TEST(BoundedQueueTest, FullQueueBlocksUntilConsumed) {
+  BoundedQueue<int> q(2);
+  q.Push(1);
+  q.Push(2);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(3);
+    pushed.store(true);
+  });
+  // Give the producer a chance to (wrongly) complete.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  BoundedQueue<int> q(16);
+  constexpr int kPerProducer = 2000;
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  q.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  long expected = 0;
+  for (int i = 0; i < 3 * kPerProducer; ++i) {
+    expected += i;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+// --- Operators: reference semantics ----------------------------------------------------------
+
+// Reference computation of sliding-window bid counts per (window start, auction).
+std::map<std::pair<int64_t, int64_t>, int> ReferenceSlidingCounts(
+    const std::vector<Event>& events, int64_t window_ms, int64_t slide_ms) {
+  std::map<std::pair<int64_t, int64_t>, int> counts;
+  for (const Event& e : events) {
+    if (e.kind != Event::Kind::kBid) {
+      continue;
+    }
+    int64_t last = e.timestamp_ms - (e.timestamp_ms % slide_ms);
+    for (int64_t s = last; s > e.timestamp_ms - window_ms; s -= slide_ms) {
+      if (s < 0) {
+        break;
+      }
+      ++counts[{s, e.bid().auction}];
+    }
+  }
+  return counts;
+}
+
+TEST(OperatorTest, SlidingCounterMatchesReferenceSingleTask) {
+  NexmarkGenerator gen;
+  std::vector<Event> events = gen.Take(5000);
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "count",
+                             .parallelism = 1,
+                             .factory = [](int) { return MakeSlidingBidCounter(4000, 1000); },
+                             .key = nullptr});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+
+  auto reference = ReferenceSlidingCounts(events, 4000, 1000);
+  std::map<std::pair<int64_t, int64_t>, int> got;
+  for (const Record& rec : r.outputs) {
+    const auto& agg = std::get<AggregateResult>(rec);
+    got[{agg.window_start_ms, std::stoll(agg.key)}] = static_cast<int>(agg.value);
+  }
+  EXPECT_EQ(got, reference);
+}
+
+TEST(OperatorTest, SlidingCounterMatchesReferenceWithHashParallelism) {
+  NexmarkGenerator gen;
+  std::vector<Event> events = gen.Take(8000);
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "count",
+                             .parallelism = 4,
+                             .factory = [](int) { return MakeSlidingBidCounter(4000, 2000); },
+                             .key = KeyByAuction});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  auto reference = ReferenceSlidingCounts(events, 4000, 2000);
+  std::map<std::pair<int64_t, int64_t>, int> got;
+  for (const Record& rec : r.outputs) {
+    const auto& agg = std::get<AggregateResult>(rec);
+    got[{agg.window_start_ms, std::stoll(agg.key)}] = static_cast<int>(agg.value);
+  }
+  EXPECT_EQ(got, reference);
+}
+
+// Reference tumbling join: person.id == auction.seller within the same window.
+std::set<std::pair<int64_t, int64_t>> ReferenceJoin(const std::vector<Event>& events,
+                                                    int64_t window_ms) {
+  std::map<int64_t, std::set<int64_t>> persons;   // window -> person ids
+  std::map<int64_t, std::vector<std::pair<int64_t, int64_t>>> auctions;  // window -> (id, seller)
+  for (const Event& e : events) {
+    int64_t w = e.timestamp_ms - (e.timestamp_ms % window_ms);
+    if (e.kind == Event::Kind::kPerson) {
+      persons[w].insert(e.person().id);
+    } else if (e.kind == Event::Kind::kAuction) {
+      auctions[w].emplace_back(e.auction().id, e.auction().seller);
+    }
+  }
+  std::set<std::pair<int64_t, int64_t>> result;
+  for (const auto& [w, aucs] : auctions) {
+    auto pit = persons.find(w);
+    if (pit == persons.end()) {
+      continue;
+    }
+    for (const auto& [id, seller] : aucs) {
+      if (pit->second.count(seller) > 0) {
+        result.insert({seller, id});
+      }
+    }
+  }
+  return result;
+}
+
+TEST(OperatorTest, TumblingJoinMatchesReference) {
+  NexmarkGenerator gen;
+  std::vector<Event> events = gen.Take(6000);
+  std::vector<StageSpec> stages;
+  stages.push_back(
+      StageSpec{.name = "join",
+                .parallelism = 3,
+                .factory = [](int) { return MakeTumblingPersonAuctionJoin(5000); },
+                .key = KeyByPersonOrSeller});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  std::set<std::pair<int64_t, int64_t>> got;
+  for (const Record& rec : r.outputs) {
+    const auto& j = std::get<JoinResult>(rec);
+    got.insert({j.left_id, j.right_id});
+  }
+  EXPECT_EQ(got, ReferenceJoin(events, 5000));
+}
+
+TEST(OperatorTest, BidFilterDropsNonBids) {
+  NexmarkGenerator gen;
+  std::vector<Event> events = gen.Take(1000);
+  int bids = 0;
+  for (const Event& e : events) {
+    bids += e.kind == Event::Kind::kBid ? 1 : 0;
+  }
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "filter",
+                             .parallelism = 2,
+                             .factory = [](int) { return MakeBidFilter(); },
+                             .key = nullptr});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  EXPECT_EQ(static_cast<int>(r.outputs.size()), bids);
+}
+
+// --- Pipeline behaviour ------------------------------------------------------------------------
+
+TEST(PipelineTest, TinyQueuesBackpressureWithoutLoss) {
+  NexmarkGenerator gen;
+  std::vector<Event> events = gen.Take(5000);
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "filter",
+                             .parallelism = 1,
+                             .factory = [](int) { return MakeBidFilter(); },
+                             .key = nullptr,
+                             .queue_capacity = 2});  // extreme backpressure
+  stages.push_back(StageSpec{.name = "count",
+                             .parallelism = 2,
+                             .factory = [](int) { return MakeSlidingBidCounter(4000, 2000); },
+                             .key = KeyByAuction,
+                             .queue_capacity = 2});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  EXPECT_EQ(r.processed_per_stage[0], 5000u);
+  EXPECT_EQ(r.processed_per_stage[1], 4600u);  // the bids
+  auto reference = ReferenceSlidingCounts(events, 4000, 2000);
+  EXPECT_EQ(r.outputs.size(), reference.size());
+}
+
+TEST(PipelineTest, StateStatsAggregated) {
+  NexmarkGenerator gen;
+  std::vector<Event> events = gen.Take(4000);
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "count",
+                             .parallelism = 2,
+                             .factory = [](int) { return MakeSlidingBidCounter(4000, 1000); },
+                             .key = KeyByAuction});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  EXPECT_GT(r.state_stats.user_bytes_written, 0u);
+  EXPECT_GE(r.state_stats.bytes_written, r.state_stats.user_bytes_written);
+}
+
+TEST(PipelineTest, RoundRobinSpreadsWork) {
+  NexmarkGenerator gen;
+  std::vector<Event> events = gen.Take(3000);
+  std::atomic<int> tasks_used{0};
+  std::array<std::atomic<int>, 3> per_task{};
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{
+      .name = "probe", .parallelism = 3, .factory = [&per_task, &tasks_used](int idx) {
+        tasks_used.fetch_add(1);
+        class Probe : public RecordOperator {
+         public:
+          Probe(std::atomic<int>* counter) : counter_(counter) {}
+          void Process(const Record&, const EmitFn&) override { counter_->fetch_add(1); }
+
+         private:
+          std::atomic<int>* counter_;
+        };
+        return std::make_unique<Probe>(&per_task[static_cast<size_t>(idx)]);
+      },
+      .key = nullptr});
+  Pipeline(std::move(stages)).Run(events);
+  EXPECT_EQ(tasks_used.load(), 3);
+  for (const auto& c : per_task) {
+    EXPECT_EQ(c.load(), 1000);  // perfect round-robin
+  }
+}
+
+TEST(PipelineTest, EmptyInputFlushesCleanly) {
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "count",
+                             .parallelism = 2,
+                             .factory = [](int) { return MakeSlidingBidCounter(1000, 500); },
+                             .key = KeyByAuction});
+  PipelineResult r = Pipeline(std::move(stages)).Run({});
+  EXPECT_TRUE(r.outputs.empty());
+  EXPECT_EQ(r.processed_per_stage[0], 0u);
+}
+
+}  // namespace
+}  // namespace capsys

@@ -1,0 +1,209 @@
+// Randomized property tests for the CAPS search: enumeration completeness/uniqueness vs
+// brute force, pruning soundness AND completeness, threshold monotonicity, and pareto-front
+// correctness, across randomly generated instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/search.h"
+#include "src/common/rng.h"
+#include "src/dataflow/rates.h"
+
+namespace capsys {
+namespace {
+
+struct Instance {
+  LogicalGraph graph{"random"};
+  Cluster cluster;
+  PhysicalGraph physical;
+  std::vector<ResourceVector> demands;
+};
+
+// Generates a random valid instance whose brute-force space (W^T) stays tractable.
+Instance RandomInstance(uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  int num_ops = static_cast<int>(rng.UniformInt(2, 4));
+  for (int i = 0; i < num_ops; ++i) {
+    OperatorProfile p;
+    p.cpu_per_record = rng.Uniform(1e-6, 2e-4);
+    p.io_bytes_per_record = rng.Bernoulli(0.5) ? rng.Uniform(100, 20000) : 0.0;
+    p.out_bytes_per_record = rng.Uniform(50, 5000);
+    p.selectivity = rng.Uniform(0.1, 1.5);
+    p.stateful = p.io_bytes_per_record > 0;
+    inst.graph.AddOperator("op" + std::to_string(i),
+                           i == 0 ? OperatorKind::kSource : OperatorKind::kMap, p,
+                           static_cast<int>(rng.UniformInt(1, 3)));
+  }
+  for (int i = 0; i < num_ops; ++i) {
+    for (int j = i + 1; j < num_ops; ++j) {
+      if (rng.Bernoulli(0.5)) {
+        inst.graph.AddEdge(i, j, PartitionScheme::kHash);
+      }
+    }
+  }
+  int tasks = inst.graph.total_parallelism();
+  int workers = static_cast<int>(rng.UniformInt(2, 3));
+  int slots = (tasks + workers - 1) / workers + static_cast<int>(rng.UniformInt(0, 1));
+  WorkerSpec spec = WorkerSpec::R5dXlarge(slots);
+  inst.cluster = Cluster(workers, spec);
+  inst.physical = PhysicalGraph::Expand(inst.graph);
+  inst.demands = TaskDemands(inst.physical, PropagateRates(inst.graph, rng.Uniform(100, 5000)));
+  return inst;
+}
+
+// All distinct plans by brute force, keyed canonically, with their cost vectors.
+std::map<std::string, ResourceVector> BruteForcePlans(const Instance& inst,
+                                                      const CostModel& model) {
+  std::map<std::string, ResourceVector> plans;
+  int n = inst.physical.num_tasks();
+  int w = inst.cluster.num_workers();
+  std::vector<WorkerId> assign(static_cast<size_t>(n), 0);
+  while (true) {
+    Placement plan(assign);
+    if (plan.Validate(inst.physical, inst.cluster).empty()) {
+      plans.emplace(plan.CanonicalKey(inst.physical, inst.cluster), model.Cost(plan));
+    }
+    int i = 0;
+    for (; i < n; ++i) {
+      if (++assign[static_cast<size_t>(i)] < w) {
+        break;
+      }
+      assign[static_cast<size_t>(i)] = 0;
+    }
+    if (i == n) {
+      break;
+    }
+  }
+  return plans;
+}
+
+class RandomInstanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomInstanceSweep, EnumerationMatchesBruteForceExactly) {
+  Instance inst = RandomInstance(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  CostModel model(inst.physical, inst.cluster, inst.demands);
+  auto reference = BruteForcePlans(inst, model);
+  auto plans = EnumerateAllPlans(model);
+  ASSERT_EQ(plans.size(), reference.size());
+  for (const auto& plan : plans) {
+    auto it = reference.find(plan.placement.CanonicalKey(inst.physical, inst.cluster));
+    ASSERT_NE(it, reference.end());
+    EXPECT_NEAR(plan.cost.cpu, it->second.cpu, 1e-9);
+    EXPECT_NEAR(plan.cost.io, it->second.io, 1e-9);
+    EXPECT_NEAR(plan.cost.net, it->second.net, 1e-9);
+  }
+}
+
+TEST_P(RandomInstanceSweep, PruningIsSoundAndComplete) {
+  Instance inst = RandomInstance(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  CostModel model(inst.physical, inst.cluster, inst.demands);
+  auto reference = BruteForcePlans(inst, model);
+  // Use the median cost of the full space as the threshold so both sides are non-trivial.
+  std::vector<double> maxima;
+  for (const auto& [key, cost] : reference) {
+    maxima.push_back(std::max({cost.cpu, cost.io, cost.net}));
+  }
+  std::sort(maxima.begin(), maxima.end());
+  double a = maxima[maxima.size() / 2] + 1e-9;
+  ResourceVector alpha{a, a, a};
+
+  SearchOptions options;
+  options.alpha = alpha;
+  options.collect_plans = true;
+  SearchResult result = CapsSearch(model, options).Run();
+
+  std::set<std::string> found;
+  for (const auto& plan : result.collected) {
+    // Soundness: every returned plan satisfies the thresholds.
+    EXPECT_LE(plan.cost.cpu, alpha.cpu + 1e-9);
+    EXPECT_LE(plan.cost.io, alpha.io + 1e-9);
+    EXPECT_LE(plan.cost.net, alpha.net + 1e-9);
+    found.insert(plan.placement.CanonicalKey(inst.physical, inst.cluster));
+  }
+  // Completeness: every satisfying plan of the full space was found.
+  size_t expected = 0;
+  for (const auto& [key, cost] : reference) {
+    if (cost.cpu <= alpha.cpu + 1e-9 && cost.io <= alpha.io + 1e-9 &&
+        cost.net <= alpha.net + 1e-9) {
+      ++expected;
+      EXPECT_TRUE(found.count(key) > 0);
+    }
+  }
+  EXPECT_EQ(found.size(), expected);
+}
+
+TEST_P(RandomInstanceSweep, LeafCountMonotoneInAlpha) {
+  Instance inst = RandomInstance(static_cast<uint64_t>(GetParam()) * 31 + 997);
+  CostModel model(inst.physical, inst.cluster, inst.demands);
+  uint64_t prev = 0;
+  for (double a : {0.1, 0.3, 0.6, 1.0}) {
+    SearchOptions options;
+    options.alpha = ResourceVector{a, a, a};
+    SearchResult r = CapsSearch(model, options).Run();
+    EXPECT_GE(r.stats.leaves, prev);
+    prev = r.stats.leaves;
+  }
+}
+
+TEST_P(RandomInstanceSweep, ParetoFrontMatchesFullSpace) {
+  Instance inst = RandomInstance(static_cast<uint64_t>(GetParam()) * 53 + 11);
+  CostModel model(inst.physical, inst.cluster, inst.demands);
+  auto reference = BruteForcePlans(inst, model);
+  SearchResult r = CapsSearch(model, SearchOptions{}).Run();
+  ASSERT_TRUE(r.found);
+  // No reference plan may *strictly* dominate any pareto member (epsilon-aware: the search
+  // tracks costs incrementally, so recomputed reference costs differ by float rounding).
+  auto strictly_dominates = [](const ResourceVector& a, const ResourceVector& b) {
+    bool all_leq = true;
+    bool some_less = false;
+    for (Resource res : kAllResources) {
+      if (a[res] > b[res] + 1e-9) {
+        all_leq = false;
+      }
+      if (a[res] < b[res] - 1e-6) {
+        some_less = true;
+      }
+    }
+    return all_leq && some_less;
+  };
+  for (const auto& member : r.pareto) {
+    for (const auto& [key, cost] : reference) {
+      EXPECT_FALSE(strictly_dominates(cost, member.cost))
+          << "pareto member " << member.cost.ToString() << " dominated by "
+          << cost.ToString();
+    }
+  }
+  // The best plan's scalarized cost equals the brute-force optimum.
+  double best = 1e300;
+  for (const auto& [key, cost] : reference) {
+    best = std::min(best, std::max({cost.cpu, cost.io, cost.net}));
+  }
+  EXPECT_NEAR(r.best.cost.Max(), best, 1e-9);
+}
+
+TEST_P(RandomInstanceSweep, ReorderingAndValueOrderingPreserveLeafCount) {
+  Instance inst = RandomInstance(static_cast<uint64_t>(GetParam()) * 67 + 3);
+  CostModel model(inst.physical, inst.cluster, inst.demands);
+  uint64_t counts[4];
+  int i = 0;
+  for (bool reorder : {false, true}) {
+    for (bool value : {false, true}) {
+      SearchOptions options;
+      options.reorder = reorder;
+      options.value_ordering = value;
+      counts[i++] = CapsSearch(model, options).Run().stats.leaves;
+    }
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(counts[1], counts[2]);
+  EXPECT_EQ(counts[2], counts[3]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceSweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace capsys

@@ -1,0 +1,293 @@
+// Tests for the CAPS search (src/caps/search.h): enumeration completeness and uniqueness,
+// plan-count reproduction, threshold pruning, reordering, parallel search, and find-first.
+#include "src/caps/search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/caps/cost_model.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+
+namespace capsys {
+namespace {
+
+// Builds a linear chain query src -> mid... with the given parallelisms and simple uniform
+// profiles, all-to-all edges.
+LogicalGraph ChainGraph(const std::vector<int>& parallelisms) {
+  LogicalGraph g("chain");
+  OperatorProfile prof;
+  prof.cpu_per_record = 1e-5;
+  prof.io_bytes_per_record = 100;
+  prof.out_bytes_per_record = 100;
+  OperatorId prev = kInvalidId;
+  for (size_t i = 0; i < parallelisms.size(); ++i) {
+    OperatorKind kind = i == 0 ? OperatorKind::kSource
+                               : (i + 1 == parallelisms.size() ? OperatorKind::kSink
+                                                               : OperatorKind::kMap);
+    OperatorId id = g.AddOperator("op" + std::to_string(i), kind, prof, parallelisms[i]);
+    if (prev != kInvalidId) {
+      g.AddEdge(prev, id, PartitionScheme::kHash);
+    }
+    prev = id;
+  }
+  return g;
+}
+
+CostModel MakeModel(const PhysicalGraph& graph, const Cluster& cluster, double rate = 1000.0) {
+  auto rates = PropagateRates(graph.logical(), rate);
+  return CostModel(graph, cluster, TaskDemands(graph, rates));
+}
+
+// Brute-force enumeration of all valid plans, deduplicated by canonical key. The reference
+// for completeness/uniqueness checks.
+int BruteForceDistinctPlans(const PhysicalGraph& graph, const Cluster& cluster) {
+  int n = graph.num_tasks();
+  int w = cluster.num_workers();
+  std::set<std::string> keys;
+  std::vector<WorkerId> assign(static_cast<size_t>(n), 0);
+  while (true) {
+    Placement plan(assign);
+    if (plan.Validate(graph, cluster).empty()) {
+      keys.insert(plan.CanonicalKey(graph, cluster));
+    }
+    // Increment the mixed-radix counter.
+    int i = 0;
+    for (; i < n; ++i) {
+      if (++assign[static_cast<size_t>(i)] < w) {
+        break;
+      }
+      assign[static_cast<size_t>(i)] = 0;
+    }
+    if (i == n) {
+      break;
+    }
+  }
+  return static_cast<int>(keys.size());
+}
+
+TEST(CapsSearchTest, MatchesBruteForceOnSmallInstances) {
+  struct Case {
+    std::vector<int> parallelisms;
+    int workers;
+    int slots;
+  };
+  std::vector<Case> cases = {
+      {{1, 1}, 2, 2},  {{2, 1}, 2, 2},   {{2, 2}, 2, 3},
+      {{2, 2}, 3, 2},  {{1, 2, 1}, 2, 2}, {{2, 2, 1}, 3, 2},
+      {{3, 2}, 3, 2},  {{2, 3, 1}, 3, 3},
+  };
+  for (const auto& c : cases) {
+    LogicalGraph logical = ChainGraph(c.parallelisms);
+    PhysicalGraph graph = PhysicalGraph::Expand(logical);
+    WorkerSpec spec;
+    spec.slots = c.slots;
+    Cluster cluster(c.workers, spec);
+    if (cluster.total_slots() < graph.num_tasks()) {
+      continue;
+    }
+    CostModel model = MakeModel(graph, cluster);
+    auto plans = EnumerateAllPlans(model);
+    int expected = BruteForceDistinctPlans(graph, cluster);
+    EXPECT_EQ(static_cast<int>(plans.size()), expected)
+        << "parallelisms size=" << c.parallelisms.size() << " workers=" << c.workers
+        << " slots=" << c.slots;
+    // Uniqueness: no two enumerated plans share a canonical key.
+    std::set<std::string> keys;
+    for (const auto& p : plans) {
+      EXPECT_TRUE(keys.insert(p.placement.CanonicalKey(graph, cluster)).second);
+      EXPECT_EQ(p.placement.Validate(graph, cluster), "");
+    }
+  }
+}
+
+TEST(CapsSearchTest, ReproducesPaperPlanCountFig4Example) {
+  // Figure 4: operators S->T->I->K with parallelism 2,2,4,1 on 3 workers x 3 slots.
+  LogicalGraph logical = ChainGraph({2, 2, 4, 1});
+  PhysicalGraph graph = PhysicalGraph::Expand(logical);
+  WorkerSpec spec;
+  spec.slots = 3;
+  Cluster cluster(3, spec);
+  CostModel model = MakeModel(graph, cluster);
+  EXPECT_EQ(EnumerateAllPlans(model).size(), 16u);
+}
+
+TEST(CapsSearchTest, ReproducesPaperPlanCountQ1Sliding) {
+  // §3.2: Q1-sliding on the 4-worker, 16-slot cluster has 80 possible placement plans.
+  QuerySpec q = BuildQ1Sliding();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  EXPECT_EQ(EnumerateAllPlans(model).size(), 80u);
+}
+
+TEST(CapsSearchTest, ReproducesPaperPlanCountQ2Join) {
+  // §3.3: Q2-join has 665 possible plans on the same cluster.
+  QuerySpec q = BuildQ2Join();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  EXPECT_EQ(EnumerateAllPlans(model).size(), 665u);
+}
+
+TEST(CapsSearchTest, ReproducesPaperPlanCountQ3Inf) {
+  // §3.3: Q3-inf has 950 possible plans on the same cluster.
+  QuerySpec q = BuildQ3Inf();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  EXPECT_EQ(EnumerateAllPlans(model).size(), 950u);
+}
+
+TEST(CapsSearchTest, ThresholdPruningReducesLeavesAndKeepsValidity) {
+  QuerySpec q = BuildQ1Sliding();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+
+  SearchOptions loose;
+  loose.alpha = ResourceVector{1.0, 1.0, 1.0};
+  SearchResult all = CapsSearch(model, loose).Run();
+  ASSERT_TRUE(all.found);
+
+  // Thresholds slightly above the optimum: the pruned search must find a satisfying plan
+  // while cutting a large part of the tree.
+  SearchOptions tight;
+  tight.alpha.cpu = std::min(1.0, all.best.cost.cpu * 1.05 + 1e-6);
+  tight.alpha.io = std::min(1.0, all.best.cost.io * 1.05 + 1e-6);
+  tight.alpha.net = 1.0;
+  SearchResult pruned = CapsSearch(model, tight).Run();
+  EXPECT_GT(all.stats.leaves, pruned.stats.leaves);
+  EXPECT_GT(pruned.stats.pruned, 0u);
+  ASSERT_TRUE(pruned.found);
+  EXPECT_LE(pruned.best.cost.cpu, tight.alpha.cpu + 1e-9);
+  EXPECT_LE(pruned.best.cost.io, tight.alpha.io + 1e-9);
+  // Every satisfying plan found under pruning must also exist in the full enumeration.
+  EXPECT_EQ(pruned.best.placement.Validate(graph, cluster), "");
+}
+
+TEST(CapsSearchTest, IncrementalCostMatchesCostModelAtLeaves) {
+  QuerySpec q = BuildQ3Inf();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  auto plans = EnumerateAllPlans(model);
+  ASSERT_FALSE(plans.empty());
+  for (size_t i = 0; i < plans.size(); i += 37) {  // sample
+    ResourceVector direct = model.Cost(plans[i].placement);
+    EXPECT_NEAR(plans[i].cost.cpu, direct.cpu, 1e-9);
+    EXPECT_NEAR(plans[i].cost.io, direct.io, 1e-9);
+    EXPECT_NEAR(plans[i].cost.net, direct.net, 1e-9);
+  }
+}
+
+TEST(CapsSearchTest, ReorderingPreservesLeafCount) {
+  QuerySpec q = BuildQ2Join();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+
+  SearchOptions plain;
+  plain.reorder = false;
+  SearchOptions reordered;
+  reordered.reorder = true;
+  SearchResult a = CapsSearch(model, plain).Run();
+  SearchResult b = CapsSearch(model, reordered).Run();
+  EXPECT_EQ(a.stats.leaves, b.stats.leaves);
+}
+
+TEST(CapsSearchTest, ReorderingPrunesEarlier) {
+  QuerySpec q = BuildQ1Sliding();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+
+  SearchOptions plain;
+  plain.reorder = false;
+  plain.alpha = ResourceVector{0.1, 0.1, 1.0};
+  SearchOptions reordered = plain;
+  reordered.reorder = true;
+  SearchResult a = CapsSearch(model, plain).Run();
+  SearchResult b = CapsSearch(model, reordered).Run();
+  EXPECT_EQ(a.stats.leaves, b.stats.leaves);
+  // The heavy sliding-window operator is explored first, so infeasible branches die near
+  // the root and the tree shrinks.
+  EXPECT_LE(b.stats.nodes, a.stats.nodes);
+}
+
+TEST(CapsSearchTest, FindFirstStopsEarly) {
+  QuerySpec q = BuildQ2Join();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+
+  SearchOptions options;
+  options.find_first = true;
+  SearchResult r = CapsSearch(model, options).Run();
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.stats.leaves, 1u);
+}
+
+TEST(CapsSearchTest, ParallelSearchFindsSameLeafCount) {
+  QuerySpec q = BuildQ3Inf();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+
+  SearchOptions seq;
+  SearchOptions par;
+  par.num_threads = 4;
+  SearchResult a = CapsSearch(model, seq).Run();
+  SearchResult b = CapsSearch(model, par).Run();
+  EXPECT_EQ(a.stats.leaves, b.stats.leaves);
+  ASSERT_TRUE(b.found);
+  // The parallel search may pick a different pareto-optimal plan, but its scalarized cost
+  // must match the sequential optimum.
+  EXPECT_NEAR(a.best.cost.Max(), b.best.cost.Max(), 1e-9);
+}
+
+TEST(CapsSearchTest, ParetoFrontIsMutuallyNonDominated) {
+  QuerySpec q = BuildQ1Sliding();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  SearchResult r = CapsSearch(model, SearchOptions{}).Run();
+  ASSERT_TRUE(r.found);
+  for (size_t i = 0; i < r.pareto.size(); ++i) {
+    for (size_t j = 0; j < r.pareto.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(r.pareto[i].cost.Dominates(r.pareto[j].cost));
+      }
+    }
+  }
+}
+
+TEST(CapsSearchTest, TimeoutIsHonored) {
+  // A large instance with a microscopic budget must stop quickly and report the timeout.
+  QuerySpec q = BuildQ2Join();
+  q.graph.SetParallelism({4, 4, 8, 8, 16});
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(10, WorkerSpec::R5dXlarge(4));
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  SearchOptions options;
+  options.timeout_s = 1e-4;
+  SearchResult r = CapsSearch(model, options).Run();
+  EXPECT_TRUE(r.stats.timed_out);
+  EXPECT_LT(r.stats.elapsed_s, 5.0);
+}
+
+}  // namespace
+}  // namespace capsys

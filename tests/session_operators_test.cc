@@ -1,0 +1,169 @@
+// Tests for the session-window and running-average runtime operators against reference
+// implementations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/nexmark/generator.h"
+#include "src/runtime/pipeline.h"
+
+namespace capsys {
+namespace {
+
+// Reference session computation: per bidder, sessions separated by > gap.
+std::map<std::pair<int64_t, int64_t>, int64_t> ReferenceSessions(
+    const std::vector<Event>& events, int64_t gap_ms) {
+  struct Session {
+    int64_t start;
+    int64_t last;
+    int64_t count;
+  };
+  std::map<int64_t, Session> open;
+  std::map<std::pair<int64_t, int64_t>, int64_t> closed;  // (bidder, start) -> count
+  for (const Event& e : events) {
+    if (e.kind != Event::Kind::kBid) {
+      continue;
+    }
+    int64_t bidder = e.bid().bidder;
+    auto it = open.find(bidder);
+    if (it != open.end() && e.timestamp_ms - it->second.last > gap_ms) {
+      closed[{bidder, it->second.start}] = it->second.count;
+      open.erase(it);
+      it = open.end();
+    }
+    if (it == open.end()) {
+      open[bidder] = Session{e.timestamp_ms, e.timestamp_ms, 1};
+    } else {
+      it->second.last = e.timestamp_ms;
+      ++it->second.count;
+    }
+  }
+  for (const auto& [bidder, s] : open) {
+    closed[{bidder, s.start}] = s.count;
+  }
+  return closed;
+}
+
+TEST(SessionWindowTest, MatchesReferenceSingleTask) {
+  GeneratorConfig config;
+  config.events_per_second = 200;  // sparse stream so sessions actually close
+  NexmarkGenerator gen(config);
+  std::vector<Event> events = gen.Take(3000);
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "sessions",
+                             .parallelism = 1,
+                             .factory = [](int) { return MakeSessionBidCounter(2000); },
+                             .key = nullptr});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  std::map<std::pair<int64_t, int64_t>, int64_t> got;
+  for (const Record& rec : r.outputs) {
+    const auto& agg = std::get<AggregateResult>(rec);
+    got[{std::stoll(agg.key), agg.window_start_ms}] = static_cast<int64_t>(agg.value);
+  }
+  EXPECT_EQ(got, ReferenceSessions(events, 2000));
+}
+
+TEST(SessionWindowTest, MatchesReferenceWithKeyedParallelism) {
+  GeneratorConfig config;
+  config.events_per_second = 500;
+  NexmarkGenerator gen(config);
+  std::vector<Event> events = gen.Take(6000);
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "sessions",
+                             .parallelism = 4,
+                             .factory = [](int) { return MakeSessionBidCounter(1500); },
+                             .key = KeyByPersonOrSeller});  // bids key by bidder
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  std::map<std::pair<int64_t, int64_t>, int64_t> got;
+  for (const Record& rec : r.outputs) {
+    const auto& agg = std::get<AggregateResult>(rec);
+    got[{std::stoll(agg.key), agg.window_start_ms}] = static_cast<int64_t>(agg.value);
+  }
+  EXPECT_EQ(got, ReferenceSessions(events, 1500));
+}
+
+TEST(SessionWindowTest, SingleBurstMakesOneSession) {
+  std::vector<Event> events;
+  for (int i = 0; i < 5; ++i) {
+    Event e;
+    e.kind = Event::Kind::kBid;
+    Bid b;
+    b.bidder = 42;
+    b.auction = 1000;
+    b.timestamp_ms = 100 * i;
+    e.payload = b;
+    e.timestamp_ms = b.timestamp_ms;
+    events.push_back(e);
+  }
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "sessions",
+                             .parallelism = 1,
+                             .factory = [](int) { return MakeSessionBidCounter(1000); },
+                             .key = nullptr});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  ASSERT_EQ(r.outputs.size(), 1u);
+  const auto& agg = std::get<AggregateResult>(r.outputs[0]);
+  EXPECT_EQ(agg.key, "42");
+  EXPECT_EQ(agg.value, 5.0);
+  EXPECT_EQ(agg.window_start_ms, 0);
+}
+
+TEST(AveragePriceTest, RunningAverageIsExact) {
+  std::vector<Event> events;
+  std::vector<int64_t> prices = {100, 200, 600};
+  for (size_t i = 0; i < prices.size(); ++i) {
+    Event e;
+    e.kind = Event::Kind::kBid;
+    Bid b;
+    b.bidder = 1;
+    b.auction = 7;
+    b.price = prices[i];
+    b.timestamp_ms = static_cast<int64_t>(i);
+    e.payload = b;
+    e.timestamp_ms = b.timestamp_ms;
+    events.push_back(e);
+  }
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "avg",
+                             .parallelism = 1,
+                             .factory = [](int) { return MakeAveragePricePerAuction(); },
+                             .key = nullptr});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  ASSERT_EQ(r.outputs.size(), 3u);
+  EXPECT_EQ(std::get<AggregateResult>(r.outputs[0]).value, 100.0);
+  EXPECT_EQ(std::get<AggregateResult>(r.outputs[1]).value, 150.0);
+  EXPECT_EQ(std::get<AggregateResult>(r.outputs[2]).value, 300.0);
+}
+
+TEST(AveragePriceTest, PerAuctionIsolation) {
+  NexmarkGenerator gen;
+  std::vector<Event> events = gen.Take(4000);
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "avg",
+                             .parallelism = 3,
+                             .factory = [](int) { return MakeAveragePricePerAuction(); },
+                             .key = KeyByAuction});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  // Reference: final average per auction.
+  std::map<int64_t, std::pair<int64_t, int64_t>> totals;  // auction -> (count, sum)
+  for (const Event& e : events) {
+    if (e.kind == Event::Kind::kBid) {
+      auto& t = totals[e.bid().auction];
+      ++t.first;
+      t.second += e.bid().price;
+    }
+  }
+  // The last emitted value per auction must equal the reference final average.
+  std::map<int64_t, double> last;
+  for (const Record& rec : r.outputs) {
+    const auto& agg = std::get<AggregateResult>(rec);
+    last[std::stoll(agg.key)] = agg.value;
+  }
+  ASSERT_EQ(last.size(), totals.size());
+  for (const auto& [auction, t] : totals) {
+    EXPECT_NEAR(last[auction], static_cast<double>(t.second) / t.first, 1e-9) << auction;
+  }
+}
+
+}  // namespace
+}  // namespace capsys

@@ -1,0 +1,215 @@
+// Tests for the log-structured state store: CRUD semantics, scans, flush/compaction
+// behaviour, byte accounting, and a randomized differential test against std::map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "src/common/rng.h"
+#include "src/statestore/state_store.h"
+
+namespace capsys {
+namespace {
+
+TEST(StateStoreTest, PutGetRoundTrip) {
+  StateStore store;
+  store.Put("k1", "v1");
+  store.Put("k2", "v2");
+  EXPECT_EQ(store.Get("k1"), "v1");
+  EXPECT_EQ(store.Get("k2"), "v2");
+  EXPECT_EQ(store.Get("missing"), std::nullopt);
+}
+
+TEST(StateStoreTest, OverwriteKeepsLatest) {
+  StateStore store;
+  store.Put("k", "old");
+  store.Put("k", "new");
+  EXPECT_EQ(store.Get("k"), "new");
+}
+
+TEST(StateStoreTest, DeleteHidesKey) {
+  StateStore store;
+  store.Put("k", "v");
+  store.Delete("k");
+  EXPECT_EQ(store.Get("k"), std::nullopt);
+}
+
+TEST(StateStoreTest, DeleteThenReinsert) {
+  StateStore store;
+  store.Put("k", "v1");
+  store.Delete("k");
+  store.Put("k", "v2");
+  EXPECT_EQ(store.Get("k"), "v2");
+}
+
+TEST(StateStoreTest, FlushTriggersAtThreshold) {
+  StateStoreOptions options;
+  options.memtable_flush_bytes = 100;
+  StateStore store(options);
+  EXPECT_EQ(store.stats().flushes, 0u);
+  for (int i = 0; i < 20; ++i) {
+    store.Put("key" + std::to_string(i), std::string(20, 'x'));
+  }
+  EXPECT_GT(store.stats().flushes, 0u);
+  EXPECT_GE(store.run_count(), 1);
+}
+
+TEST(StateStoreTest, ValuesSurviveFlush) {
+  StateStoreOptions options;
+  options.memtable_flush_bytes = 64;
+  StateStore store(options);
+  for (int i = 0; i < 50; ++i) {
+    store.Put("key" + std::to_string(i), "value" + std::to_string(i));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(store.Get("key" + std::to_string(i)), "value" + std::to_string(i));
+  }
+}
+
+TEST(StateStoreTest, CompactionBoundsRunCount) {
+  StateStoreOptions options;
+  options.memtable_flush_bytes = 64;
+  options.max_runs = 3;
+  StateStore store(options);
+  for (int i = 0; i < 300; ++i) {
+    store.Put("key" + std::to_string(i % 40), std::string(16, 'a' + i % 26));
+  }
+  EXPECT_LE(store.run_count(), 4);  // at most max_runs + 1 freshly flushed
+  EXPECT_GT(store.stats().compactions, 0u);
+}
+
+TEST(StateStoreTest, CompactionDropsTombstones) {
+  StateStoreOptions options;
+  options.memtable_flush_bytes = 32;
+  options.max_runs = 1;
+  StateStore store(options);
+  for (int i = 0; i < 30; ++i) {
+    store.Put("k" + std::to_string(i), "vvvvvvvv");
+  }
+  for (int i = 0; i < 30; ++i) {
+    store.Delete("k" + std::to_string(i));
+  }
+  for (int i = 0; i < 30; ++i) {
+    store.Put("x" + std::to_string(i), "vvvvvvvv");  // force more flush/compaction cycles
+  }
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(store.Get("k" + std::to_string(i)), std::nullopt);
+  }
+  EXPECT_EQ(store.LiveKeyCount(), 30u);
+}
+
+TEST(StateStoreTest, ScanRangeAndOrder) {
+  StateStore store;
+  store.Put("b", "2");
+  store.Put("a", "1");
+  store.Put("d", "4");
+  store.Put("c", "3");
+  std::vector<std::string> keys;
+  store.Scan("a", "d", [&](const std::string& k, const std::string&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));  // half-open [a, d)
+}
+
+TEST(StateStoreTest, ScanSeesNewestVersionAcrossRuns) {
+  StateStoreOptions options;
+  options.memtable_flush_bytes = 32;
+  StateStore store(options);
+  store.Put("k", "old");
+  for (int i = 0; i < 10; ++i) {
+    store.Put("pad" + std::to_string(i), "xxxxxxxxxx");  // force flushes
+  }
+  store.Put("k", "new");
+  std::string seen;
+  store.Scan("k", "k\xff", [&](const std::string&, const std::string& v) { seen = v; });
+  EXPECT_EQ(seen, "new");
+}
+
+TEST(StateStoreTest, ScanSkipsTombstones) {
+  StateStore store;
+  store.Put("a", "1");
+  store.Put("b", "2");
+  store.Delete("a");
+  int count = 0;
+  store.Scan("", "zzz", [&](const std::string&, const std::string&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(StateStoreTest, WriteAmplificationAboveOneAfterCompaction) {
+  StateStoreOptions options;
+  options.memtable_flush_bytes = 128;
+  options.max_runs = 2;
+  StateStore store(options);
+  for (int i = 0; i < 500; ++i) {
+    store.Put("key" + std::to_string(i % 50), std::string(32, 'y'));
+  }
+  EXPECT_GT(store.stats().WriteAmplification(), 1.0);
+  EXPECT_GT(store.stats().user_bytes_written, 0u);
+  EXPECT_GE(store.stats().bytes_written, store.stats().user_bytes_written);
+}
+
+TEST(StateStoreTest, ClearRemovesDataKeepsStats) {
+  StateStore store;
+  store.Put("k", "v");
+  uint64_t written = store.stats().bytes_written;
+  store.Clear();
+  EXPECT_EQ(store.Get("k"), std::nullopt);
+  EXPECT_EQ(store.stats().bytes_written, written);
+}
+
+// Differential test: random operations must agree with a std::map reference model.
+TEST(StateStoreTest, RandomOpsMatchReferenceModel) {
+  Rng rng(404);
+  StateStoreOptions options;
+  options.memtable_flush_bytes = 96;  // force frequent flushes/compactions
+  options.max_runs = 2;
+  StateStore store(options);
+  std::map<std::string, std::string> reference;
+
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = "k" + std::to_string(rng.NextBounded(120));
+    int action = static_cast<int>(rng.NextBounded(10));
+    if (action < 5) {
+      std::string value = "v" + std::to_string(rng.NextBounded(100000));
+      store.Put(key, value);
+      reference[key] = value;
+    } else if (action < 7) {
+      store.Delete(key);
+      reference.erase(key);
+    } else {
+      auto got = store.Get(key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_EQ(got, std::nullopt) << key;
+      } else {
+        ASSERT_TRUE(got.has_value()) << key;
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+  }
+  // Full scan must equal the reference exactly.
+  std::map<std::string, std::string> scanned;
+  store.Scan("", "\x7f", [&](const std::string& k, const std::string& v) { scanned[k] = v; });
+  EXPECT_EQ(scanned, reference);
+  EXPECT_EQ(store.LiveKeyCount(), reference.size());
+}
+
+// Parameterized: store behaviour holds across flush-threshold configurations.
+class StateStoreParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StateStoreParamTest, HundredKeysRoundTrip) {
+  StateStoreOptions options;
+  options.memtable_flush_bytes = GetParam();
+  StateStore store(options);
+  for (int i = 0; i < 100; ++i) {
+    store.Put("key" + std::to_string(i), "value" + std::to_string(i * 7));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(store.Get("key" + std::to_string(i)), "value" + std::to_string(i * 7));
+  }
+  EXPECT_EQ(store.LiveKeyCount(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlushThresholds, StateStoreParamTest,
+                         ::testing::Values(16, 64, 256, 1024, 1 << 20));
+
+}  // namespace
+}  // namespace capsys
