@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_exhaustive.dir/bench_fig2_exhaustive.cc.o"
+  "CMakeFiles/bench_fig2_exhaustive.dir/bench_fig2_exhaustive.cc.o.d"
+  "bench_fig2_exhaustive"
+  "bench_fig2_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

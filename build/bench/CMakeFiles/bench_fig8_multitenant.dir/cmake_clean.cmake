@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_multitenant.dir/bench_fig8_multitenant.cc.o"
+  "CMakeFiles/bench_fig8_multitenant.dir/bench_fig8_multitenant.cc.o.d"
+  "bench_fig8_multitenant"
+  "bench_fig8_multitenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hetero_capacity.dir/bench_hetero_capacity.cc.o"
+  "CMakeFiles/bench_hetero_capacity.dir/bench_hetero_capacity.cc.o.d"
+  "bench_hetero_capacity"
+  "bench_hetero_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hetero_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioned_autotune.dir/bench_partitioned_autotune.cc.o"
+  "CMakeFiles/bench_partitioned_autotune.dir/bench_partitioned_autotune.cc.o.d"
+  "bench_partitioned_autotune"
+  "bench_partitioned_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioned_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

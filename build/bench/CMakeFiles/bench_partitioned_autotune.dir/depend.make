@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_partitioned_autotune.
+# This may be replaced when dependencies are built.

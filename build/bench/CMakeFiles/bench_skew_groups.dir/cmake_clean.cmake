@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skew_groups.dir/bench_skew_groups.cc.o"
+  "CMakeFiles/bench_skew_groups.dir/bench_skew_groups.cc.o.d"
+  "bench_skew_groups"
+  "bench_skew_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skew_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

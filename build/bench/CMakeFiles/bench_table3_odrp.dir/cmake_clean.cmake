@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_odrp.dir/bench_table3_odrp.cc.o"
+  "CMakeFiles/bench_table3_odrp.dir/bench_table3_odrp.cc.o.d"
+  "bench_table3_odrp"
+  "bench_table3_odrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_odrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

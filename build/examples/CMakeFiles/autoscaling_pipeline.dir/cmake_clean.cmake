@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscaling_pipeline.dir/autoscaling_pipeline.cpp.o"
+  "CMakeFiles/autoscaling_pipeline.dir/autoscaling_pipeline.cpp.o.d"
+  "autoscaling_pipeline"
+  "autoscaling_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscaling_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitenant_cluster.dir/multitenant_cluster.cpp.o"
+  "CMakeFiles/multitenant_cluster.dir/multitenant_cluster.cpp.o.d"
+  "multitenant_cluster"
+  "multitenant_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitenant_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexmark_runtime.dir/nexmark_runtime.cpp.o"
+  "CMakeFiles/nexmark_runtime.dir/nexmark_runtime.cpp.o.d"
+  "nexmark_runtime"
+  "nexmark_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexmark_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

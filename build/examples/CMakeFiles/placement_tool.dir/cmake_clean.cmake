@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_tool.dir/placement_tool.cpp.o"
+  "CMakeFiles/placement_tool.dir/placement_tool.cpp.o.d"
+  "placement_tool"
+  "placement_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

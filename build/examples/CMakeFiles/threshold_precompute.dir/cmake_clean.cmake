@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_precompute.dir/threshold_precompute.cpp.o"
+  "CMakeFiles/threshold_precompute.dir/threshold_precompute.cpp.o.d"
+  "threshold_precompute"
+  "threshold_precompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_precompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

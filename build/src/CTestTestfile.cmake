@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("cluster")
+subdirs("dataflow")
+subdirs("metrics")
+subdirs("statestore")
+subdirs("simulator")
+subdirs("runtime")
+subdirs("nexmark")
+subdirs("caps")
+subdirs("baselines")
+subdirs("odrp")
+subdirs("controller")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_baselines.dir/flink_strategies.cc.o"
+  "CMakeFiles/capsys_baselines.dir/flink_strategies.cc.o.d"
+  "libcapsys_baselines.a"
+  "libcapsys_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

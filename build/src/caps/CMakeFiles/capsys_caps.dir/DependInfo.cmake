@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/caps/auto_tuner.cc" "src/caps/CMakeFiles/capsys_caps.dir/auto_tuner.cc.o" "gcc" "src/caps/CMakeFiles/capsys_caps.dir/auto_tuner.cc.o.d"
+  "/root/repo/src/caps/cost_model.cc" "src/caps/CMakeFiles/capsys_caps.dir/cost_model.cc.o" "gcc" "src/caps/CMakeFiles/capsys_caps.dir/cost_model.cc.o.d"
+  "/root/repo/src/caps/greedy.cc" "src/caps/CMakeFiles/capsys_caps.dir/greedy.cc.o" "gcc" "src/caps/CMakeFiles/capsys_caps.dir/greedy.cc.o.d"
+  "/root/repo/src/caps/partitioned.cc" "src/caps/CMakeFiles/capsys_caps.dir/partitioned.cc.o" "gcc" "src/caps/CMakeFiles/capsys_caps.dir/partitioned.cc.o.d"
+  "/root/repo/src/caps/placement_groups.cc" "src/caps/CMakeFiles/capsys_caps.dir/placement_groups.cc.o" "gcc" "src/caps/CMakeFiles/capsys_caps.dir/placement_groups.cc.o.d"
+  "/root/repo/src/caps/search.cc" "src/caps/CMakeFiles/capsys_caps.dir/search.cc.o" "gcc" "src/caps/CMakeFiles/capsys_caps.dir/search.cc.o.d"
+  "/root/repo/src/caps/threshold_cache.cc" "src/caps/CMakeFiles/capsys_caps.dir/threshold_cache.cc.o" "gcc" "src/caps/CMakeFiles/capsys_caps.dir/threshold_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/capsys_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/capsys_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

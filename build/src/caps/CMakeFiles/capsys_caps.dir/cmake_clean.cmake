@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_caps.dir/auto_tuner.cc.o"
+  "CMakeFiles/capsys_caps.dir/auto_tuner.cc.o.d"
+  "CMakeFiles/capsys_caps.dir/cost_model.cc.o"
+  "CMakeFiles/capsys_caps.dir/cost_model.cc.o.d"
+  "CMakeFiles/capsys_caps.dir/greedy.cc.o"
+  "CMakeFiles/capsys_caps.dir/greedy.cc.o.d"
+  "CMakeFiles/capsys_caps.dir/partitioned.cc.o"
+  "CMakeFiles/capsys_caps.dir/partitioned.cc.o.d"
+  "CMakeFiles/capsys_caps.dir/placement_groups.cc.o"
+  "CMakeFiles/capsys_caps.dir/placement_groups.cc.o.d"
+  "CMakeFiles/capsys_caps.dir/search.cc.o"
+  "CMakeFiles/capsys_caps.dir/search.cc.o.d"
+  "CMakeFiles/capsys_caps.dir/threshold_cache.cc.o"
+  "CMakeFiles/capsys_caps.dir/threshold_cache.cc.o.d"
+  "libcapsys_caps.a"
+  "libcapsys_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

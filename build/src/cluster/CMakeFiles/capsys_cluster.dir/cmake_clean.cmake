@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_cluster.dir/cluster.cc.o"
+  "CMakeFiles/capsys_cluster.dir/cluster.cc.o.d"
+  "libcapsys_cluster.a"
+  "libcapsys_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

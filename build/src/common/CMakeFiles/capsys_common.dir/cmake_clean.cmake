@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_common.dir/logging.cc.o"
+  "CMakeFiles/capsys_common.dir/logging.cc.o.d"
+  "CMakeFiles/capsys_common.dir/rng.cc.o"
+  "CMakeFiles/capsys_common.dir/rng.cc.o.d"
+  "CMakeFiles/capsys_common.dir/stats.cc.o"
+  "CMakeFiles/capsys_common.dir/stats.cc.o.d"
+  "CMakeFiles/capsys_common.dir/str.cc.o"
+  "CMakeFiles/capsys_common.dir/str.cc.o.d"
+  "CMakeFiles/capsys_common.dir/thread_pool.cc.o"
+  "CMakeFiles/capsys_common.dir/thread_pool.cc.o.d"
+  "libcapsys_common.a"
+  "libcapsys_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

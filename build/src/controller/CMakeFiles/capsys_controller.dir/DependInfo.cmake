@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/deployment.cc" "src/controller/CMakeFiles/capsys_controller.dir/deployment.cc.o" "gcc" "src/controller/CMakeFiles/capsys_controller.dir/deployment.cc.o.d"
+  "/root/repo/src/controller/ds2.cc" "src/controller/CMakeFiles/capsys_controller.dir/ds2.cc.o" "gcc" "src/controller/CMakeFiles/capsys_controller.dir/ds2.cc.o.d"
+  "/root/repo/src/controller/failure_experiments.cc" "src/controller/CMakeFiles/capsys_controller.dir/failure_experiments.cc.o" "gcc" "src/controller/CMakeFiles/capsys_controller.dir/failure_experiments.cc.o.d"
+  "/root/repo/src/controller/profiler.cc" "src/controller/CMakeFiles/capsys_controller.dir/profiler.cc.o" "gcc" "src/controller/CMakeFiles/capsys_controller.dir/profiler.cc.o.d"
+  "/root/repo/src/controller/scaling_experiments.cc" "src/controller/CMakeFiles/capsys_controller.dir/scaling_experiments.cc.o" "gcc" "src/controller/CMakeFiles/capsys_controller.dir/scaling_experiments.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/capsys_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/capsys_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/capsys_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/capsys_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/caps/CMakeFiles/capsys_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/capsys_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nexmark/CMakeFiles/capsys_nexmark.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_controller.dir/deployment.cc.o"
+  "CMakeFiles/capsys_controller.dir/deployment.cc.o.d"
+  "CMakeFiles/capsys_controller.dir/ds2.cc.o"
+  "CMakeFiles/capsys_controller.dir/ds2.cc.o.d"
+  "CMakeFiles/capsys_controller.dir/failure_experiments.cc.o"
+  "CMakeFiles/capsys_controller.dir/failure_experiments.cc.o.d"
+  "CMakeFiles/capsys_controller.dir/profiler.cc.o"
+  "CMakeFiles/capsys_controller.dir/profiler.cc.o.d"
+  "CMakeFiles/capsys_controller.dir/scaling_experiments.cc.o"
+  "CMakeFiles/capsys_controller.dir/scaling_experiments.cc.o.d"
+  "libcapsys_controller.a"
+  "libcapsys_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

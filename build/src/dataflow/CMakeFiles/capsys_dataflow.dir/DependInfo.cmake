@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/chaining.cc" "src/dataflow/CMakeFiles/capsys_dataflow.dir/chaining.cc.o" "gcc" "src/dataflow/CMakeFiles/capsys_dataflow.dir/chaining.cc.o.d"
+  "/root/repo/src/dataflow/logical_graph.cc" "src/dataflow/CMakeFiles/capsys_dataflow.dir/logical_graph.cc.o" "gcc" "src/dataflow/CMakeFiles/capsys_dataflow.dir/logical_graph.cc.o.d"
+  "/root/repo/src/dataflow/physical_graph.cc" "src/dataflow/CMakeFiles/capsys_dataflow.dir/physical_graph.cc.o" "gcc" "src/dataflow/CMakeFiles/capsys_dataflow.dir/physical_graph.cc.o.d"
+  "/root/repo/src/dataflow/placement.cc" "src/dataflow/CMakeFiles/capsys_dataflow.dir/placement.cc.o" "gcc" "src/dataflow/CMakeFiles/capsys_dataflow.dir/placement.cc.o.d"
+  "/root/repo/src/dataflow/rates.cc" "src/dataflow/CMakeFiles/capsys_dataflow.dir/rates.cc.o" "gcc" "src/dataflow/CMakeFiles/capsys_dataflow.dir/rates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/capsys_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_dataflow.dir/chaining.cc.o"
+  "CMakeFiles/capsys_dataflow.dir/chaining.cc.o.d"
+  "CMakeFiles/capsys_dataflow.dir/logical_graph.cc.o"
+  "CMakeFiles/capsys_dataflow.dir/logical_graph.cc.o.d"
+  "CMakeFiles/capsys_dataflow.dir/physical_graph.cc.o"
+  "CMakeFiles/capsys_dataflow.dir/physical_graph.cc.o.d"
+  "CMakeFiles/capsys_dataflow.dir/placement.cc.o"
+  "CMakeFiles/capsys_dataflow.dir/placement.cc.o.d"
+  "CMakeFiles/capsys_dataflow.dir/rates.cc.o"
+  "CMakeFiles/capsys_dataflow.dir/rates.cc.o.d"
+  "libcapsys_dataflow.a"
+  "libcapsys_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_metrics.dir/metrics.cc.o"
+  "CMakeFiles/capsys_metrics.dir/metrics.cc.o.d"
+  "libcapsys_metrics.a"
+  "libcapsys_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

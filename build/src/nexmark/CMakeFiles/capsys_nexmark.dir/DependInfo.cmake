@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nexmark/generator.cc" "src/nexmark/CMakeFiles/capsys_nexmark.dir/generator.cc.o" "gcc" "src/nexmark/CMakeFiles/capsys_nexmark.dir/generator.cc.o.d"
+  "/root/repo/src/nexmark/queries.cc" "src/nexmark/CMakeFiles/capsys_nexmark.dir/queries.cc.o" "gcc" "src/nexmark/CMakeFiles/capsys_nexmark.dir/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/capsys_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/capsys_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

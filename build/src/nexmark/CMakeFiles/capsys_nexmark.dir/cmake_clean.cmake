@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_nexmark.dir/generator.cc.o"
+  "CMakeFiles/capsys_nexmark.dir/generator.cc.o.d"
+  "CMakeFiles/capsys_nexmark.dir/queries.cc.o"
+  "CMakeFiles/capsys_nexmark.dir/queries.cc.o.d"
+  "libcapsys_nexmark.a"
+  "libcapsys_nexmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_nexmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_odrp.dir/odrp.cc.o"
+  "CMakeFiles/capsys_odrp.dir/odrp.cc.o.d"
+  "libcapsys_odrp.a"
+  "libcapsys_odrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_odrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/operators.cc" "src/runtime/CMakeFiles/capsys_runtime.dir/operators.cc.o" "gcc" "src/runtime/CMakeFiles/capsys_runtime.dir/operators.cc.o.d"
+  "/root/repo/src/runtime/pipeline.cc" "src/runtime/CMakeFiles/capsys_runtime.dir/pipeline.cc.o" "gcc" "src/runtime/CMakeFiles/capsys_runtime.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/capsys_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/statestore/CMakeFiles/capsys_statestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/nexmark/CMakeFiles/capsys_nexmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/capsys_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

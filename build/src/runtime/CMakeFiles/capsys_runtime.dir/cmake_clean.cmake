@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_runtime.dir/operators.cc.o"
+  "CMakeFiles/capsys_runtime.dir/operators.cc.o.d"
+  "CMakeFiles/capsys_runtime.dir/pipeline.cc.o"
+  "CMakeFiles/capsys_runtime.dir/pipeline.cc.o.d"
+  "libcapsys_runtime.a"
+  "libcapsys_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

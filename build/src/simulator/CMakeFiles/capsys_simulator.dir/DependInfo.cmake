@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/contention.cc" "src/simulator/CMakeFiles/capsys_simulator.dir/contention.cc.o" "gcc" "src/simulator/CMakeFiles/capsys_simulator.dir/contention.cc.o.d"
+  "/root/repo/src/simulator/fluid_simulator.cc" "src/simulator/CMakeFiles/capsys_simulator.dir/fluid_simulator.cc.o" "gcc" "src/simulator/CMakeFiles/capsys_simulator.dir/fluid_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/capsys_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/capsys_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/capsys_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

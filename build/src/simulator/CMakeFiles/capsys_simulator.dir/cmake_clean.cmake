@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_simulator.dir/contention.cc.o"
+  "CMakeFiles/capsys_simulator.dir/contention.cc.o.d"
+  "CMakeFiles/capsys_simulator.dir/fluid_simulator.cc.o"
+  "CMakeFiles/capsys_simulator.dir/fluid_simulator.cc.o.d"
+  "libcapsys_simulator.a"
+  "libcapsys_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

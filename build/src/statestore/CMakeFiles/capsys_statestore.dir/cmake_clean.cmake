@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsys_statestore.dir/state_store.cc.o"
+  "CMakeFiles/capsys_statestore.dir/state_store.cc.o.d"
+  "libcapsys_statestore.a"
+  "libcapsys_statestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsys_statestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

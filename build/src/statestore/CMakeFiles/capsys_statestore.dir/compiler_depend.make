@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for capsys_statestore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for capsys_statestore.
+# This may be replaced when dependencies are built.

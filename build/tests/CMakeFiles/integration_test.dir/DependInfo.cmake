@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsys_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/capsys_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/capsys_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/capsys_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/statestore/CMakeFiles/capsys_statestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/capsys_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/capsys_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/nexmark/CMakeFiles/capsys_nexmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/caps/CMakeFiles/capsys_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/capsys_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/odrp/CMakeFiles/capsys_odrp.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/capsys_controller.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

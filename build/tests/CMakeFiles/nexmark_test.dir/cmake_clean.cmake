@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexmark_test.dir/nexmark_test.cc.o"
+  "CMakeFiles/nexmark_test.dir/nexmark_test.cc.o.d"
+  "nexmark_test"
+  "nexmark_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

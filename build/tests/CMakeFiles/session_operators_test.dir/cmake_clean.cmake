@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_operators_test.dir/session_operators_test.cc.o"
+  "CMakeFiles/session_operators_test.dir/session_operators_test.cc.o.d"
+  "session_operators_test"
+  "session_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_property_test.dir/simulator_property_test.cc.o"
+  "CMakeFiles/simulator_property_test.dir/simulator_property_test.cc.o.d"
+  "simulator_property_test"
+  "simulator_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statestore_test.dir/statestore_test.cc.o"
+  "CMakeFiles/statestore_test.dir/statestore_test.cc.o.d"
+  "statestore_test"
+  "statestore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
