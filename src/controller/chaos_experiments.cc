@@ -1,0 +1,227 @@
+#include "src/controller/chaos_experiments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+#include "src/dataflow/rates.h"
+
+namespace capsys {
+
+std::string ChaosRun::ToString() const {
+  return Sprintf(
+      "reconfigs=%d deaths=%d false_pos=%d churn_retries=%d outages=%d (unrecovered %d) "
+      "mttr=%.1fs loss=%.0f mean_thr=%.0f last=%s slots=%d",
+      reconfigurations, deaths_declared, false_positives, replan_churn_retries, outages,
+      unrecovered_outages, mttr_s, throughput_loss, mean_throughput,
+      RecoveryOutcomeName(last_outcome), final_slots);
+}
+
+ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
+                            const FaultSchedule& schedule,
+                            const ChaosExperimentOptions& options) {
+  ChaosRun run;
+  const double target = query.TotalTargetRate();
+
+  // --- Initial deployment -------------------------------------------------------------------
+  DeployOptions deploy_options;
+  deploy_options.policy = options.policy;
+  deploy_options.use_ds2_sizing = options.use_ds2_sizing;
+  deploy_options.search_threads = options.search_threads;
+  deploy_options.seed = options.seed;
+  CapsysController controller(cluster, deploy_options);
+  Deployment d = controller.Deploy(query);
+
+  // The DS2-sized graph is the nominal width recovery aims back at.
+  const LogicalGraph nominal_graph = d.graph;
+  LogicalGraph graph = d.graph;
+  Placement placement = d.placement;
+  PhysicalGraph physical = d.physical;
+
+  // Flush metrics every control tick so timeline samples always see fresh windows, however
+  // reconfigurations shift the runtime's local clock against the global one.
+  SimConfig sim_config = options.sim;
+  sim_config.metrics_interval_s =
+      std::min(sim_config.metrics_interval_s, options.control_interval_s);
+
+  auto sim = std::make_unique<FluidSimulator>(physical, cluster, placement, sim_config);
+  for (const auto& [op, r] : d.source_rates) {
+    sim->SetSourceRate(op, r);
+  }
+
+  FaultInjector injector(schedule, cluster.num_workers(), options.seed, options.injector);
+  FailureDetector detector(cluster.num_workers(), options.detector);
+
+  double now = 0.0;            // global time
+  double global_offset = 0.0;  // global time = offset + sim local time
+  double next_sample = options.sample_interval_s;
+  double achievable = std::min(
+      target, EstimateSustainableRate(graph, d.source_rates, d.costs, cluster.worker(0).spec));
+  double last_reconfig_s = -1e300;
+  double last_unplaceable_s = -1e300;
+  // Usable-worker count when the running plan was computed: the rebalance trigger fires
+  // when capacity has returned since then.
+  int plan_usable_workers = cluster.num_workers();
+
+  // Advances the world by one control interval: faults in, simulator on, heartbeats out,
+  // detector tick, timeline sample.
+  auto step = [&]() {
+    injector.AdvanceTo(now, sim.get());
+    sim->RunFor(options.control_interval_s);
+    now += options.control_interval_s;
+    for (WorkerId w : injector.CollectHeartbeats(now)) {
+      detector.RecordHeartbeat(w, now);
+    }
+    for (WorkerId w : detector.Tick(now)) {
+      if (!injector.IsCrashed(w)) {
+        ++run.false_positives;
+        CAPSYS_LOG_WARN("chaos", Sprintf("false positive: w%d declared dead but alive", w));
+      }
+    }
+    if (now + 1e-9 >= next_sample) {
+      double local = now - global_offset;
+      run.timeline.push_back(TimelinePoint{
+          .time_s = now,
+          .target_rate = achievable,
+          .throughput =
+              sim->Summarize(std::max(0.0, local - options.sample_interval_s), local)
+                  .throughput,
+          .slots = graph.total_parallelism()});
+      next_sample += options.sample_interval_s;
+    }
+  };
+  auto advance = [&](double seconds) {
+    int ticks = std::max(1, static_cast<int>(std::llround(seconds / options.control_interval_s)));
+    for (int i = 0; i < ticks; ++i) {
+      step();
+    }
+  };
+
+  // --- Control loop -------------------------------------------------------------------------
+  while (now + options.control_interval_s <= options.run_s + 1e-9) {
+    step();
+
+    // Does the current deployment still stand on usable workers?
+    bool hosts_unusable = false;
+    for (TaskId t = 0; t < physical.num_tasks() && !hosts_unusable; ++t) {
+      hosts_unusable = !detector.IsUsable(placement.WorkerOf(t), now);
+    }
+    // Can the deployment reclaim restored capacity? This fires both to re-upscale a
+    // degraded (narrow) plan and to re-spread a full-width plan that was crammed onto the
+    // few survivors while the rest of the cluster was down.
+    bool can_rebalance = detector.NumUsable(now) > plan_usable_workers &&
+                         now - last_reconfig_s >= options.upscale_cooldown_s;
+    if (!hosts_unusable && !can_rebalance) {
+      continue;
+    }
+    if (!hosts_unusable && now - last_unplaceable_s < options.unplaceable_retry_s) {
+      continue;  // back off after a hopeless attempt unless forced to act
+    }
+
+    // --- Recovery attempt, with bounded retry under churn -----------------------------------
+    RecoveryPlan plan;
+    bool plan_usable = false;
+    for (int attempt = 0; attempt <= options.max_replan_retries; ++attempt) {
+      if (attempt > 0) {
+        ++run.replan_churn_retries;
+      }
+      plan = PlanRecovery(nominal_graph, d.source_rates, d.costs, cluster,
+                          detector.UsableMask(now), deploy_options);
+      // The search takes time; faults keep landing while it runs.
+      advance(options.replan_latency_s);
+      if (!plan.Placeable()) {
+        break;
+      }
+      plan_usable = true;
+      for (TaskId t = 0; t < plan.physical.num_tasks() && plan_usable; ++t) {
+        plan_usable = detector.IsUsable(plan.placement.WorkerOf(t), now);
+      }
+      if (plan_usable) {
+        break;  // plan survived the churn window
+      }
+      CAPSYS_LOG_WARN("chaos", Sprintf("plan stale after churn (attempt %d), retrying",
+                                       attempt + 1));
+    }
+
+    if (!plan.Placeable()) {
+      // Structured degraded verdict: keep whatever is still running, retry later. The
+      // achievable bar intentionally stays at the last feasible plan's value so the stall
+      // is accounted as an (un)recovered outage, not defined away.
+      ++run.unplaceable_verdicts;
+      run.last_outcome = RecoveryOutcome::kUnplaceable;
+      last_unplaceable_s = now;
+      CAPSYS_LOG_WARN("chaos",
+                      Sprintf("t=%.0f recovery unplaceable (%d usable workers), retrying in "
+                              "%.0fs",
+                              now, detector.NumUsable(now), options.unplaceable_retry_s));
+      continue;
+    }
+    if (!plan_usable) {
+      continue;  // churn outlasted the retry budget; try again next tick
+    }
+
+    // --- Apply: reconfigure onto the plan ---------------------------------------------------
+    graph = plan.graph;
+    physical = plan.physical;
+    placement = plan.placement;
+    run.last_outcome = plan.outcome;
+    plan_usable_workers = detector.NumUsable(now);
+    achievable = std::min(target, plan.sustainable_rate);
+    ++run.reconfigurations;
+    run.reconfig_times_s.push_back(now);
+    last_reconfig_s = now;
+    global_offset = now;
+    sim = std::make_unique<FluidSimulator>(physical, cluster, placement, sim_config);
+    injector.ApplyCurrentState(sim.get());
+    if (options.reconfigure_downtime_s > 0.0) {
+      // Checkpoint-restore blackout: sources stay silent until the job is back up.
+      advance(options.reconfigure_downtime_s);
+    }
+    for (const auto& [op, r] : d.source_rates) {
+      sim->SetSourceRate(op, r);
+    }
+    CAPSYS_LOG_INFO("chaos", Sprintf("t=%.0f reconfigured: %s", now, plan.ToString().c_str()));
+  }
+
+  // --- Outage accounting over the timeline --------------------------------------------------
+  double loss = 0.0;
+  double thr_sum = 0.0;
+  double outage_start = -1.0;
+  std::vector<double> outage_durations;
+  for (const TimelinePoint& p : run.timeline) {
+    thr_sum += p.throughput;
+    loss += std::max(0.0, target - p.throughput) * options.sample_interval_s;
+    bool below = p.throughput < options.target_fraction * p.target_rate;
+    if (below && outage_start < 0.0) {
+      outage_start = p.time_s;
+    } else if (!below && outage_start >= 0.0) {
+      outage_durations.push_back(p.time_s - outage_start);
+      outage_start = -1.0;
+    }
+  }
+  run.outages = static_cast<int>(outage_durations.size());
+  if (outage_start >= 0.0) {
+    ++run.outages;
+    ++run.unrecovered_outages;
+    run.longest_outage_s =
+        std::max(run.longest_outage_s, options.run_s - outage_start);
+  }
+  if (!outage_durations.empty()) {
+    double sum = 0.0;
+    for (double o : outage_durations) {
+      sum += o;
+      run.longest_outage_s = std::max(run.longest_outage_s, o);
+    }
+    run.mttr_s = sum / static_cast<double>(outage_durations.size());
+  }
+  run.throughput_loss = loss;
+  run.mean_throughput =
+      run.timeline.empty() ? 0.0 : thr_sum / static_cast<double>(run.timeline.size());
+  run.deaths_declared = detector.deaths_declared();
+  run.final_slots = graph.total_parallelism();
+  return run;
+}
+
+}  // namespace capsys

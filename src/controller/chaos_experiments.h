@@ -1,0 +1,87 @@
+// Chaos experiment driver (robustness extension): replays a seeded FaultSchedule against a
+// deployed query while the hardened controller loop runs — heartbeat failure detection with
+// suspicion and flap blacklisting, bounded re-planning under churn, and graceful
+// degraded-mode recovery (down-scaling parallelism when the survivors cannot host the query
+// at full width, re-upscaling when workers return). Generalizes the single-kill
+// RunFailureRecoveryExperiment into an arbitrary-fault harness and reports the resiliency
+// metrics StreamShield-style evaluations use: MTTR, reconfiguration count, throughput-loss
+// integral, and detector false positives.
+#ifndef SRC_CONTROLLER_CHAOS_EXPERIMENTS_H_
+#define SRC_CONTROLLER_CHAOS_EXPERIMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/controller/failure_detector.h"
+#include "src/controller/recovery.h"
+#include "src/controller/scaling_experiments.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/fault_schedule.h"
+
+namespace capsys {
+
+struct ChaosExperimentOptions {
+  PlacementPolicy policy = PlacementPolicy::kCaps;
+  double run_s = 420.0;
+  // Controller loop cadence: heartbeat collection, detector ticks, fault application.
+  double control_interval_s = 1.0;
+  // Timeline sampling cadence (and the resolution of the loss integral).
+  double sample_interval_s = 5.0;
+  // A sample counts as healthy when throughput >= target_fraction x the achievable target
+  // (the nominal target, reduced while running a degraded plan).
+  double target_fraction = 0.9;
+  // Checkpoint-restore blackout per reconfiguration, as in the scaling experiments.
+  double reconfigure_downtime_s = 5.0;
+  // Placement decision latency: the world keeps moving while the search runs, so a plan can
+  // be stale by the time it is ready (churn).
+  double replan_latency_s = 2.0;
+  // Bounded retry when churn invalidates a freshly computed plan.
+  int max_replan_retries = 3;
+  // Back-off before re-attempting recovery after a kUnplaceable verdict.
+  double unplaceable_retry_s = 10.0;
+  // Minimum gap before re-upscaling onto restored workers (prevents reconfiguration storms
+  // when workers churn).
+  double upscale_cooldown_s = 30.0;
+  bool use_ds2_sizing = true;
+  int search_threads = 2;
+  uint64_t seed = 1;
+  FailureDetectorOptions detector;
+  InjectorOptions injector;
+  SimConfig sim;
+};
+
+struct ChaosRun {
+  // Sampled every sample_interval_s; `target_rate` carries the achievable target at that
+  // time (nominal, or the degraded plan's sustainable rate), `slots` the deployed width.
+  std::vector<TimelinePoint> timeline;
+  std::vector<double> reconfig_times_s;
+  int reconfigurations = 0;
+  int deaths_declared = 0;
+  int false_positives = 0;      // declared dead while not actually crashed (ground truth)
+  int replan_churn_retries = 0;  // plans recomputed because the usable set changed mid-search
+  int unplaceable_verdicts = 0;  // recovery attempts that found no feasible plan
+
+  // Outage accounting over the timeline: an outage is a maximal run of samples below
+  // target_fraction x achievable target.
+  int outages = 0;
+  int unrecovered_outages = 0;  // still below the bar when the run ended
+  double mttr_s = -1.0;         // mean duration of recovered outages; -1 when none
+  double longest_outage_s = 0.0;
+  // Integral of max(0, nominal target - throughput) over the run (records "missing" vs. a
+  // fault-free ideal).
+  double throughput_loss = 0.0;
+  double mean_throughput = 0.0;
+
+  RecoveryOutcome last_outcome = RecoveryOutcome::kRecoveredFull;
+  int final_slots = 0;
+
+  std::string ToString() const;
+};
+
+ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
+                            const FaultSchedule& schedule,
+                            const ChaosExperimentOptions& options);
+
+}  // namespace capsys
+
+#endif  // SRC_CONTROLLER_CHAOS_EXPERIMENTS_H_

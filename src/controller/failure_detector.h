@@ -1,0 +1,91 @@
+// Heartbeat-based failure detection with suspicion and flap blacklisting (robustness
+// extension; StreamShield-style resiliency, see PAPERS.md).
+//
+// Each worker heartbeats the controller every heartbeat_interval_s. The detector counts one
+// miss per elapsed timeout period without a beat: after the first miss a worker is
+// *suspected* (still usable — slow workers and lossy telemetry must not trigger
+// re-placement), and only after `dead_after_misses` consecutive misses is it declared
+// *dead*. Any beat resets the worker to alive.
+//
+// Workers that are declared dead repeatedly within a sliding window are flapping: they get
+// blacklisted with exponential backoff (base * 2^(n-1), capped), so the placement search
+// stops bouncing tasks onto a worker that will die again moments later.
+#ifndef SRC_CONTROLLER_FAILURE_DETECTOR_H_
+#define SRC_CONTROLLER_FAILURE_DETECTOR_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace capsys {
+
+enum class WorkerHealth : int { kAlive = 0, kSuspected = 1, kDead = 2 };
+
+const char* WorkerHealthName(WorkerHealth health);
+
+struct FailureDetectorOptions {
+  double heartbeat_interval_s = 1.0;
+  // No beat for this long counts as one miss (should exceed the heartbeat interval by a
+  // comfortable margin so jittery-but-alive workers are merely suspected).
+  double timeout_s = 3.0;
+  // Consecutive misses before a suspected worker is declared dead.
+  int dead_after_misses = 3;
+  // Declared dead this many times within flap_window_s => blacklisted.
+  int flap_deaths_to_blacklist = 2;
+  double flap_window_s = 120.0;
+  // Exponential backoff before a blacklisted worker may host tasks again.
+  double blacklist_base_s = 30.0;
+  double blacklist_max_s = 480.0;
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(int num_workers, FailureDetectorOptions options = {});
+
+  // A heartbeat from `w` arrived at `now_s`. Resets misses; a dead worker comes back as
+  // alive (blacklisting, tracked separately, may still exclude it from placement).
+  void RecordHeartbeat(WorkerId w, double now_s);
+
+  // Advances suspicion/death state to `now_s`. Returns the workers newly declared dead by
+  // this call (each death is reported exactly once).
+  std::vector<WorkerId> Tick(double now_s);
+
+  WorkerHealth HealthOf(WorkerId w) const;
+  bool IsBlacklisted(WorkerId w, double now_s) const;
+  // Usable = not dead and not blacklisted. Suspected workers remain usable: a transient
+  // straggler must not trigger re-placement.
+  bool IsUsable(WorkerId w, double now_s) const;
+  std::vector<bool> UsableMask(double now_s) const;
+  int NumUsable(double now_s) const;
+
+  int deaths_declared() const { return deaths_declared_; }
+  int DeathsOf(WorkerId w) const { return workers_[static_cast<size_t>(w)].total_deaths; }
+  double BlacklistedUntil(WorkerId w) const {
+    return workers_[static_cast<size_t>(w)].blacklist_until_s;
+  }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const FailureDetectorOptions& options() const { return options_; }
+
+  std::string ToString(double now_s) const;
+
+ private:
+  struct WorkerState {
+    double last_heartbeat_s = 0.0;
+    int misses = 0;
+    WorkerHealth health = WorkerHealth::kAlive;
+    std::deque<double> death_times_s;  // recent deaths, pruned to flap_window_s
+    int total_deaths = 0;
+    int times_blacklisted = 0;
+    double blacklist_until_s = -1.0;
+  };
+
+  FailureDetectorOptions options_;
+  std::vector<WorkerState> workers_;
+  int deaths_declared_ = 0;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_CONTROLLER_FAILURE_DETECTOR_H_

@@ -5,13 +5,13 @@
 
 #include "src/common/logging.h"
 #include "src/common/str.h"
-#include "src/dataflow/rates.h"
 
 namespace capsys {
 
 std::string FailureRun::ToString() const {
-  return Sprintf("victim=w%d before=%.0f during=%.0f after=%.0f recovery=%.1fs%s", victim,
-                 throughput_before, throughput_during, throughput_after, recovery_time_s,
+  return Sprintf("victim=w%d before=%.0f during=%.0f after=%.0f recovery=%.1fs %s(%d->%d)%s",
+                 victim, throughput_before, throughput_during, throughput_after,
+                 recovery_time_s, RecoveryOutcomeName(outcome), slots_before, slots_after,
                  recovered ? "" : " NOT_RECOVERED");
 }
 
@@ -37,9 +37,7 @@ FailureRun RunFailureRecoveryExperiment(const QuerySpec& query, const Cluster& c
       run.victim = w;
     }
   }
-  int surviving_slots = cluster.total_slots() - cluster.worker(run.victim).spec.slots;
-  CAPSYS_CHECK_MSG(surviving_slots >= d.physical.num_tasks(),
-                   "surviving cluster cannot host the query");
+  run.slots_before = d.physical.num_tasks();
 
   auto sim = std::make_unique<FluidSimulator>(d.physical, cluster, d.placement, options.sim);
   for (const auto& [op, r] : d.source_rates) {
@@ -47,6 +45,7 @@ FailureRun RunFailureRecoveryExperiment(const QuerySpec& query, const Cluster& c
   }
 
   double global_offset = 0.0;
+  int current_slots = d.physical.num_tasks();
   auto sample = [&](double step_s) {
     sim->RunFor(step_s);
     double now_local = sim->time_s();
@@ -54,7 +53,7 @@ FailureRun RunFailureRecoveryExperiment(const QuerySpec& query, const Cluster& c
         .time_s = global_offset + now_local,
         .target_rate = target,
         .throughput = sim->Summarize(now_local - step_s, now_local).throughput,
-        .slots = d.physical.num_tasks()});
+        .slots = current_slots});
   };
 
   // --- Phase 1: healthy ----------------------------------------------------------------------
@@ -78,37 +77,38 @@ FailureRun RunFailureRecoveryExperiment(const QuerySpec& query, const Cluster& c
         sim->Summarize(std::max(0.0, t - options.detection_delay_s), t).throughput;
   }
 
-  // --- Phase 3: re-place on the surviving workers and redeploy -------------------------------
-  // The controller sees a reduced cluster; worker ids are remapped around the victim.
-  std::vector<WorkerSpec> surviving;
-  std::vector<WorkerId> to_global;
-  for (WorkerId w = 0; w < cluster.num_workers(); ++w) {
-    if (w != run.victim) {
-      surviving.push_back(cluster.worker(w).spec);
-      to_global.push_back(w);
+  // --- Phase 3: plan recovery on the surviving workers and redeploy --------------------------
+  // The planner sees the reduced cluster. When the survivors cannot host the query at its
+  // current parallelism it down-scales via DS2 (degraded mode); when nothing fits it
+  // reports kUnplaceable and the run simply continues on the survivors — no abort.
+  std::vector<bool> usable(static_cast<size_t>(cluster.num_workers()), true);
+  usable[static_cast<size_t>(run.victim)] = false;
+  RecoveryPlan plan =
+      PlanRecovery(d.graph, d.source_rates, d.costs, cluster, usable, deploy_options);
+  run.outcome = plan.outcome;
+  double recovery_target = target;
+  if (plan.Placeable()) {
+    run.slots_after = plan.physical.num_tasks();
+    current_slots = run.slots_after;
+    if (plan.outcome == RecoveryOutcome::kRecoveredDegraded) {
+      recovery_target = std::min(target, plan.sustainable_rate);
     }
-  }
-  Cluster reduced(std::move(surviving));
-  CapsysController recovery_controller(reduced, deploy_options);
-  auto rates = PropagateRates(d.graph, d.source_rates);
-  auto demands = DemandsFromMeasuredCosts(d.physical, d.costs, rates);
-  Placement reduced_plan = recovery_controller.Place(d.physical, demands, nullptr);
-  Placement global_plan(d.physical.num_tasks());
-  for (TaskId t = 0; t < d.physical.num_tasks(); ++t) {
-    global_plan.Assign(t, to_global[static_cast<size_t>(reduced_plan.WorkerOf(t))]);
-  }
-
-  global_offset += sim->time_s();
-  sim = std::make_unique<FluidSimulator>(d.physical, cluster, global_plan, options.sim);
-  for (const auto& [op, r] : d.source_rates) {
-    sim->SetSourceRate(op, r);
+    global_offset += sim->time_s();
+    sim = std::make_unique<FluidSimulator>(plan.physical, cluster, plan.placement, options.sim);
+    sim->FailWorker(run.victim);  // the victim is still down; the plan avoids it
+    for (const auto& [op, r] : d.source_rates) {
+      sim->SetSourceRate(op, r);
+    }
+  } else {
+    run.slots_after = 0;
+    CAPSYS_LOG_WARN("failure", "recovery unplaceable: continuing on the survivors");
   }
 
   // --- Phase 4: recovery ----------------------------------------------------------------------
   while (global_offset + sim->time_s() + 5.0 <= options.run_s) {
     sample(5.0);
-    if (!run.recovered &&
-        run.timeline.back().throughput >= options.target_fraction * target) {
+    if (!run.recovered && plan.Placeable() &&
+        run.timeline.back().throughput >= options.target_fraction * recovery_target) {
       run.recovered = true;
       run.recovery_time_s = run.timeline.back().time_s - fail_time;
     }

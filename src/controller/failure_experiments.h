@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/controller/recovery.h"
 #include "src/controller/scaling_experiments.h"
 
 namespace capsys {
@@ -29,17 +30,24 @@ struct FailureRun {
   double throughput_before = 0.0;  // steady state before the failure
   double throughput_during = 0.0;  // between failure and re-placement
   double throughput_after = 0.0;   // steady state after recovery
-  // Time from the failure instant until throughput is back above target_fraction x target;
-  // negative when the query never recovers within the run.
+  // Time from the failure instant until throughput is back above target_fraction x the
+  // recovery target (the nominal target, or the degraded plan's sustainable rate when the
+  // survivors forced a down-scale); negative when the query never recovers within the run.
   double recovery_time_s = -1.0;
   bool recovered = false;
+  // How the re-placement went: full-width, down-scaled, or unplaceable (in which case no
+  // re-placement happens and the run continues on the survivors of the original plan).
+  RecoveryOutcome outcome = RecoveryOutcome::kRecoveredFull;
+  int slots_before = 0;  // tasks deployed before the failure
+  int slots_after = 0;   // tasks deployed after recovery
 
   std::string ToString() const;
 };
 
 // Runs the experiment. The victim is the worker hosting the most tasks under the initial
-// placement (worst case). The surviving cluster must still have enough slots for the
-// query's tasks; the driver CHECKs this.
+// placement (worst case). When the survivors cannot host the query at its current
+// parallelism the controller down-scales via DS2 until the plan fits (outcome
+// kRecoveredDegraded) or reports kUnplaceable — it never aborts.
 FailureRun RunFailureRecoveryExperiment(const QuerySpec& query, const Cluster& cluster,
                                         const FailureExperimentOptions& options);
 

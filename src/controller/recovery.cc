@@ -1,0 +1,158 @@
+#include "src/controller/recovery.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+#include "src/dataflow/rates.h"
+
+namespace capsys {
+
+const char* RecoveryOutcomeName(RecoveryOutcome outcome) {
+  switch (outcome) {
+    case RecoveryOutcome::kRecoveredFull:
+      return "full";
+    case RecoveryOutcome::kRecoveredDegraded:
+      return "degraded";
+    case RecoveryOutcome::kUnplaceable:
+      return "unplaceable";
+  }
+  return "?";
+}
+
+std::string RecoveryPlan::ToString() const {
+  return Sprintf("outcome=%s slots=%d->%d sustainable=%.0f rec/s",
+                 RecoveryOutcomeName(outcome), slots_before, slots_after, sustainable_rate);
+}
+
+double EstimateSustainableRate(const LogicalGraph& graph,
+                               const std::map<OperatorId, double>& source_rates,
+                               const std::vector<MeasuredCost>& costs,
+                               const WorkerSpec& spec) {
+  double target = 0.0;
+  for (const auto& [op, r] : source_rates) {
+    target += r;
+  }
+  if (target <= 1e-9) {
+    return 0.0;
+  }
+  auto rates = PropagateRates(graph, source_rates);
+  // Sustained fraction of the target = min over operators of what its tasks can absorb
+  // relative to the load the target pushes through it (rates scale linearly with the
+  // aggregate source rate in the fluid model).
+  double fraction = 1.0;
+  for (OperatorId o = 0; o < graph.num_operators(); ++o) {
+    double in = rates[static_cast<size_t>(o)].input_rate;
+    if (in <= 1e-9) {
+      continue;
+    }
+    double solo = CapsysController::StandaloneTaskRate(costs[static_cast<size_t>(o)], spec);
+    double capacity = solo * graph.op(o).parallelism;
+    fraction = std::min(fraction, capacity / in);
+  }
+  return target * std::clamp(fraction, 0.0, 1.0);
+}
+
+RecoveryPlan PlanRecovery(const LogicalGraph& graph,
+                          const std::map<OperatorId, double>& source_rates,
+                          const std::vector<MeasuredCost>& costs, const Cluster& cluster,
+                          const std::vector<bool>& usable, const DeployOptions& options) {
+  CAPSYS_CHECK(static_cast<int>(usable.size()) == cluster.num_workers());
+  CAPSYS_CHECK(static_cast<int>(costs.size()) == graph.num_operators());
+  RecoveryPlan plan;
+  plan.slots_before = graph.total_parallelism();
+
+  // --- Usable sub-cluster -------------------------------------------------------------------
+  std::vector<WorkerSpec> surviving;
+  std::vector<WorkerId> to_global;
+  for (WorkerId w = 0; w < cluster.num_workers(); ++w) {
+    if (usable[static_cast<size_t>(w)]) {
+      surviving.push_back(cluster.worker(w).spec);
+      to_global.push_back(w);
+    }
+  }
+  if (surviving.empty()) {
+    return plan;  // kUnplaceable: no worker left to host anything
+  }
+  Cluster reduced(std::move(surviving));
+  int available_slots = reduced.total_slots();
+
+  // --- Fit parallelism to the survivors -----------------------------------------------------
+  plan.graph = graph;
+  if (plan.graph.total_parallelism() > available_slots) {
+    if (graph.num_operators() > available_slots) {
+      return plan;  // even parallelism 1 per operator cannot fit
+    }
+    // Down-scale via the DS2 sizing model: size each operator for the target rate from its
+    // profiled standalone rate, then shrink the widest operators until the plan fits. The
+    // DS2 pass keeps the relative parallelism proportional to per-operator load, so the
+    // shrink loop degrades the least-loaded dimensions last.
+    std::vector<Ds2Observation> obs(static_cast<size_t>(graph.num_operators()));
+    for (OperatorId o = 0; o < graph.num_operators(); ++o) {
+      obs[static_cast<size_t>(o)].true_rate_per_task =
+          CapsysController::StandaloneTaskRate(costs[static_cast<size_t>(o)],
+                                               reduced.worker(0).spec);
+    }
+    Ds2Options ds2 = options.ds2;
+    ds2.max_parallelism = std::min(ds2.max_parallelism, available_slots);
+    Ds2Decision decision = Ds2Scale(graph, source_rates, obs, ds2);
+    // Never scale *up* beyond the requested graph during recovery.
+    for (OperatorId o = 0; o < graph.num_operators(); ++o) {
+      decision.parallelism[static_cast<size_t>(o)] =
+          std::min(decision.parallelism[static_cast<size_t>(o)], graph.op(o).parallelism);
+    }
+    plan.graph.SetParallelism(decision.parallelism);
+    // Forward edges require equal parallelism on both ends; repair by shrinking to the min.
+    auto repair_forward = [](LogicalGraph& g) {
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (const auto& e : g.edges()) {
+          if (e.scheme != PartitionScheme::kForward) {
+            continue;
+          }
+          int p = std::min(g.op(e.from).parallelism, g.op(e.to).parallelism);
+          if (g.op(e.from).parallelism != p || g.op(e.to).parallelism != p) {
+            g.SetParallelism(e.from, p);
+            g.SetParallelism(e.to, p);
+            changed = true;
+          }
+        }
+      }
+    };
+    repair_forward(plan.graph);
+    while (plan.graph.total_parallelism() > available_slots) {
+      OperatorId widest = 0;
+      for (OperatorId o = 1; o < plan.graph.num_operators(); ++o) {
+        if (plan.graph.op(o).parallelism > plan.graph.op(widest).parallelism) {
+          widest = o;
+        }
+      }
+      plan.graph.SetParallelism(widest, plan.graph.op(widest).parallelism - 1);
+      repair_forward(plan.graph);
+    }
+    plan.outcome = RecoveryOutcome::kRecoveredDegraded;
+    CAPSYS_LOG_WARN("recovery", Sprintf("down-scaled %d -> %d tasks to fit %d usable slots",
+                                        plan.slots_before, plan.graph.total_parallelism(),
+                                        available_slots));
+  } else {
+    plan.outcome = RecoveryOutcome::kRecoveredFull;
+  }
+  plan.slots_after = plan.graph.total_parallelism();
+
+  // --- Place on the reduced cluster and lift back to global ids -----------------------------
+  plan.physical = PhysicalGraph::Expand(plan.graph);
+  auto rates = PropagateRates(plan.graph, source_rates);
+  auto demands = DemandsFromMeasuredCosts(plan.physical, costs, rates);
+  CapsysController recovery_controller(reduced, options);
+  Placement reduced_plan = recovery_controller.Place(plan.physical, demands, nullptr);
+  plan.placement = Placement(plan.physical.num_tasks());
+  for (TaskId t = 0; t < plan.physical.num_tasks(); ++t) {
+    plan.placement.Assign(t, to_global[static_cast<size_t>(reduced_plan.WorkerOf(t))]);
+  }
+  plan.sustainable_rate =
+      EstimateSustainableRate(plan.graph, source_rates, costs, reduced.worker(0).spec);
+  return plan;
+}
+
+}  // namespace capsys

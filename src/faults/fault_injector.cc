@@ -1,0 +1,123 @@
+#include "src/faults/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+
+namespace capsys {
+
+FaultInjector::FaultInjector(const FaultSchedule& schedule, int num_workers, uint64_t seed,
+                             InjectorOptions options)
+    : options_(options),
+      timeline_(schedule.Expand()),
+      crashed_(static_cast<size_t>(num_workers), false),
+      degrade_(static_cast<size_t>(num_workers), 1.0),
+      corruption_seed_(seed ^ 0x9e3779b97f4a7c15ULL),
+      heartbeat_rng_(seed) {
+  CAPSYS_CHECK(num_workers > 0);
+  next_beat_s_.assign(static_cast<size_t>(num_workers), options_.heartbeat_interval_s);
+}
+
+void FaultInjector::AdvanceTo(double now, FluidSimulator* sim) {
+  CAPSYS_CHECK_MSG(now + 1e-9 >= now_, "injector time must not go backwards");
+  bool corruption_changed = false;
+  while (next_ < timeline_.size() && timeline_[next_].time_s <= now + 1e-9) {
+    const PrimitiveFault& f = timeline_[next_];
+    using Kind = PrimitiveFault::Kind;
+    switch (f.kind) {
+      case Kind::kCrash:
+        crashed_[static_cast<size_t>(f.worker)] = true;
+        if (sim != nullptr) {
+          sim->FailWorker(f.worker);
+        }
+        break;
+      case Kind::kRestore:
+        crashed_[static_cast<size_t>(f.worker)] = false;
+        if (sim != nullptr) {
+          sim->RestoreWorker(f.worker);
+        }
+        break;
+      case Kind::kSetDegrade:
+        degrade_[static_cast<size_t>(f.worker)] = f.value;
+        if (sim != nullptr) {
+          sim->DegradeWorker(f.worker, f.value);
+        }
+        break;
+      case Kind::kSetDropout:
+        corruption_.dropout_p = f.value;
+        corruption_changed = true;
+        break;
+      case Kind::kSetStaleness:
+        corruption_.staleness_s = f.value;
+        corruption_changed = true;
+        break;
+      case Kind::kSetNoise:
+        corruption_.noise_frac = f.value;
+        corruption_changed = true;
+        break;
+    }
+    ++next_;
+  }
+  if (corruption_changed && sim != nullptr) {
+    sim->SetMetricCorruption(corruption_, corruption_seed_);
+  }
+  now_ = std::max(now_, now);
+}
+
+void FaultInjector::ApplyCurrentState(FluidSimulator* sim) const {
+  CAPSYS_CHECK(sim != nullptr);
+  for (size_t w = 0; w < crashed_.size(); ++w) {
+    if (crashed_[w]) {
+      sim->FailWorker(static_cast<WorkerId>(w));
+    }
+    if (degrade_[w] < 1.0) {
+      sim->DegradeWorker(static_cast<WorkerId>(w), degrade_[w]);
+    }
+  }
+  sim->SetMetricCorruption(corruption_, corruption_seed_);
+}
+
+std::vector<WorkerId> FaultInjector::CollectHeartbeats(double now) {
+  std::vector<WorkerId> delivered;
+  for (size_t w = 0; w < next_beat_s_.size(); ++w) {
+    while (next_beat_s_[w] <= now + 1e-9) {
+      // A degraded worker heartbeats at a slowed cadence; a crashed worker skips the beat
+      // entirely but its cadence keeps advancing so beats resume promptly after a restore.
+      double interval = options_.heartbeat_interval_s / std::max(degrade_[w], 0.05);
+      bool emitted = !crashed_[w];
+      bool lost = corruption_.dropout_p > 0.0 && heartbeat_rng_.Bernoulli(corruption_.dropout_p);
+      if (emitted && !lost) {
+        delivered.push_back(static_cast<WorkerId>(w));
+      }
+      next_beat_s_[w] += crashed_[w] ? options_.heartbeat_interval_s : interval;
+    }
+  }
+  return delivered;
+}
+
+int FaultInjector::NumCrashed() const {
+  int n = 0;
+  for (bool c : crashed_) {
+    n += c ? 1 : 0;
+  }
+  return n;
+}
+
+std::string FaultInjector::ToString() const {
+  std::vector<std::string> down;
+  std::vector<std::string> slow;
+  for (size_t w = 0; w < crashed_.size(); ++w) {
+    if (crashed_[w]) {
+      down.push_back(Sprintf("w%zu", w));
+    }
+    if (degrade_[w] < 1.0) {
+      slow.push_back(Sprintf("w%zu@%.2f", w, degrade_[w]));
+    }
+  }
+  return Sprintf("t=%.1f down=[%s] slow=[%s] dropout=%.2f stale=%.1f noise=%.2f", now_,
+                 Join(down, ",").c_str(), Join(slow, ",").c_str(), corruption_.dropout_p,
+                 corruption_.staleness_s, corruption_.noise_frac);
+}
+
+}  // namespace capsys

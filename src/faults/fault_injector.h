@@ -1,0 +1,72 @@
+// Replays a FaultSchedule against a running FluidSimulator and models the telemetry the
+// controller sees while faults are active: worker heartbeats (delayed by slowdowns, lost to
+// crashes and metric dropout) and corrupted metric reads. The injector is also the ground
+// truth oracle — chaos drivers compare the failure detector's verdicts against IsCrashed()
+// to count false positives.
+#ifndef SRC_FAULTS_FAULT_INJECTOR_H_
+#define SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/faults/fault_schedule.h"
+#include "src/simulator/fluid_simulator.h"
+
+namespace capsys {
+
+struct InjectorOptions {
+  // Workers emit one heartbeat per interval; a worker degraded to factor f emits every
+  // interval/f (slow nodes report late, which is what drives detector suspicion).
+  double heartbeat_interval_s = 1.0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultSchedule& schedule, int num_workers, uint64_t seed,
+                InjectorOptions options = {});
+
+  // Applies every primitive fault with time <= now to the truth state and (when `sim` is
+  // non-null) to the simulator. `now` must be monotonically non-decreasing across calls.
+  void AdvanceTo(double now, FluidSimulator* sim);
+
+  // Re-applies the current truth state to a freshly constructed simulator — call after a
+  // reconfiguration replaces the runtime mid-run.
+  void ApplyCurrentState(FluidSimulator* sim) const;
+
+  // Heartbeats due in (previous call, now] that actually reach the controller. Crashed
+  // workers emit nothing; active metric dropout loses beats with probability dropout_p;
+  // degraded workers emit at a slowed cadence. Deterministic for a fixed seed and call
+  // pattern.
+  std::vector<WorkerId> CollectHeartbeats(double now);
+
+  // Ground truth.
+  bool IsCrashed(WorkerId w) const { return crashed_[static_cast<size_t>(w)]; }
+  double DegradeFactor(WorkerId w) const { return degrade_[static_cast<size_t>(w)]; }
+  int NumCrashed() const;
+  double dropout_p() const { return corruption_.dropout_p; }
+  const MetricCorruption& corruption() const { return corruption_; }
+  // True when every scheduled fault has been applied.
+  bool Exhausted() const { return next_ >= timeline_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  InjectorOptions options_;
+  std::vector<PrimitiveFault> timeline_;
+  size_t next_ = 0;
+  double now_ = 0.0;
+
+  std::vector<bool> crashed_;
+  std::vector<double> degrade_;
+  MetricCorruption corruption_;
+  uint64_t corruption_seed_;
+
+  std::vector<double> next_beat_s_;
+  Rng heartbeat_rng_;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,120 @@
+// Deterministic, seedable fault schedules (robustness extension; StreamShield-style chaos
+// testing, see PAPERS.md). A FaultSchedule is a list of timed FaultEvents — worker crashes
+// and restores, transient slowdowns (stragglers), flapping workers, and metric corruption
+// episodes — that the FaultInjector replays tick-by-tick against a FluidSimulator. The same
+// schedule + seed always yields the same fault timeline, so chaos experiments are exactly
+// reproducible across placement policies.
+#ifndef SRC_FAULTS_FAULT_SCHEDULE_H_
+#define SRC_FAULTS_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace capsys {
+
+enum class FaultType : int {
+  kCrash = 0,           // worker dies at time_s (stays down until restored)
+  kRestore,             // worker comes back
+  kSlowdown,            // capacity degraded to `factor` for `duration_s`, then restored
+  kFlap,                // `cycles` crash/restore cycles of `period_s` each (half down, half up)
+  kMetricDropout,       // controller-facing metric reads and heartbeats lost w.p. `factor`
+  kMetricStaleness,     // controller-facing metric reads lag `factor` seconds behind
+  kMetricNoise,         // controller-facing metric reads get multiplicative noise (stddev `factor`)
+};
+
+const char* FaultTypeName(FaultType type);
+
+// One scheduled fault. `worker` is kInvalidId for cluster-wide faults (the metric family).
+// `factor` is overloaded per type: slowdown capacity fraction in (0, 1], dropout
+// probability, staleness seconds, or noise stddev. Metric faults last `duration_s` and then
+// switch off.
+struct FaultEvent {
+  double time_s = 0.0;
+  FaultType type = FaultType::kCrash;
+  WorkerId worker = kInvalidId;
+  double factor = 1.0;
+  double duration_s = 0.0;
+  int cycles = 0;  // kFlap only
+  double period_s = 0.0;  // kFlap only
+
+  std::string ToString() const;
+};
+
+// A primitive state transition the injector applies. Compound events (slowdowns, flaps,
+// timed metric episodes) expand into pairs/series of these.
+struct PrimitiveFault {
+  enum class Kind : int {
+    kCrash = 0,
+    kRestore,
+    kSetDegrade,    // value = capacity factor (1.0 restores full speed)
+    kSetDropout,    // value = loss probability (0 switches off)
+    kSetStaleness,  // value = lag seconds (0 switches off)
+    kSetNoise,      // value = stddev (0 switches off)
+  };
+  double time_s = 0.0;
+  Kind kind = Kind::kCrash;
+  WorkerId worker = kInvalidId;
+  double value = 0.0;
+
+  std::string ToString() const;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  // Builder-style composition; all return *this for chaining.
+  FaultSchedule& Crash(double time_s, WorkerId worker);
+  FaultSchedule& Restore(double time_s, WorkerId worker);
+  // Worker runs at `factor` (0 < factor <= 1) of normal capacity for `duration_s`.
+  FaultSchedule& Slowdown(double time_s, WorkerId worker, double factor, double duration_s);
+  // `cycles` crash/restore cycles: down for period_s/2, up for period_s/2, repeated.
+  FaultSchedule& Flap(double time_s, WorkerId worker, double period_s, int cycles);
+  FaultSchedule& MetricDropout(double time_s, double probability, double duration_s);
+  FaultSchedule& MetricStaleness(double time_s, double staleness_s, double duration_s);
+  FaultSchedule& MetricNoise(double time_s, double stddev, double duration_s);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // Flattens compound events into primitive transitions, stably sorted by time. The
+  // expansion is fully deterministic — no randomness is involved.
+  std::vector<PrimitiveFault> Expand() const;
+
+  std::string ToString() const;
+
+  // Options for generating a random (but seed-deterministic) schedule.
+  struct RandomOptions {
+    int num_faults = 8;
+    double min_time_s = 30.0;    // no faults before the query warms up
+    double horizon_s = 300.0;    // faults drawn uniformly in [min_time_s, horizon_s]
+    double restore_after_s = 60.0;  // crashes auto-restore after this long
+    double slowdown_factor = 0.3;
+    double slowdown_duration_s = 40.0;
+    double flap_period_s = 10.0;
+    int flap_cycles = 3;
+    double dropout_p = 0.3;
+    double metric_duration_s = 30.0;
+    bool allow_crashes = true;
+    bool allow_slowdowns = true;
+    bool allow_flaps = true;
+    bool allow_metric_faults = true;
+    // At most this many workers may be simultaneously crashed by generated crash events
+    // (flaps not counted); guards against schedules that kill the whole cluster.
+    int max_concurrent_crashes = 2;
+  };
+
+  // Generates a schedule of `options.num_faults` events over `num_workers` workers.
+  // Identical (num_workers, options, seed) triples yield identical schedules.
+  static FaultSchedule Random(int num_workers, const RandomOptions& options, uint64_t seed);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_FAULTS_FAULT_SCHEDULE_H_

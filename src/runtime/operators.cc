@@ -189,8 +189,12 @@ class SessionBidCounter : public RecordOperator {
     int64_t count = 0;
     if (auto existing = state_.Get(key); existing.has_value()) {
       int64_t last = 0;
-      ParseSession(*existing, &start, &last, &count);
-      if (ts - last > gap_ms_) {
+      if (!ParseSessionEntry(*existing, &start, &last, &count)) {
+        CAPSYS_LOG_WARN("runtime", Sprintf("dropping corrupt session entry '%s' for %s",
+                                           existing->c_str(), key.c_str()));
+        start = ts;
+        count = 0;
+      } else if (ts - last > gap_ms_) {
         // Previous session expired; emit it and start fresh.
         EmitSession(bidder, start, count, emit);
         start = ts;
@@ -210,17 +214,6 @@ class SessionBidCounter : public RecordOperator {
   const StateStoreStats* state_stats() const override { return &state_.stats(); }
 
  private:
-  static void ParseSession(const std::string& value, int64_t* start, int64_t* last,
-                           int64_t* count) {
-    long long s = 0;
-    long long l = 0;
-    long long c = 0;
-    CAPSYS_CHECK(std::sscanf(value.c_str(), "%lld %lld %lld", &s, &l, &c) == 3);
-    *start = s;
-    *last = l;
-    *count = c;
-  }
-
   void EmitSession(int64_t bidder, int64_t start, int64_t count, const EmitFn& emit) {
     if (count <= 0) {
       return;
@@ -240,8 +233,12 @@ class SessionBidCounter : public RecordOperator {
           int64_t start = 0;
           int64_t last = 0;
           int64_t count = 0;
-          ParseSession(*value, &start, &last, &count);
-          EmitSession(it->first, start, count, emit);
+          if (ParseSessionEntry(*value, &start, &last, &count)) {
+            EmitSession(it->first, start, count, emit);
+          } else {
+            CAPSYS_LOG_WARN("runtime", Sprintf("dropping corrupt session entry '%s' for %s",
+                                               value->c_str(), key.c_str()));
+          }
           state_.Delete(key);
         }
         it = expiry_.erase(it);
@@ -270,14 +267,20 @@ class AveragePricePerAuction : public RecordOperator {
     }
     const Bid& bid = e->bid();
     std::string key = Sprintf("avg/%020lld", static_cast<long long>(bid.auction));
-    long long count = 0;
-    long long total = 0;
+    int64_t count = 0;
+    int64_t total = 0;
     if (auto existing = state_.Get(key); existing.has_value()) {
-      CAPSYS_CHECK(std::sscanf(existing->c_str(), "%lld %lld", &count, &total) == 2);
+      if (!ParseAverageEntry(*existing, &count, &total)) {
+        CAPSYS_LOG_WARN("runtime", Sprintf("dropping corrupt average entry '%s' for %s",
+                                           existing->c_str(), key.c_str()));
+        count = 0;
+        total = 0;
+      }
     }
     ++count;
     total += bid.price;
-    state_.Put(key, Sprintf("%lld %lld", count, total));
+    state_.Put(key, Sprintf("%lld %lld", static_cast<long long>(count),
+                            static_cast<long long>(total)));
     AggregateResult r;
     r.key = std::to_string(bid.auction);
     r.value = static_cast<double>(total) / static_cast<double>(count);
@@ -312,6 +315,35 @@ std::unique_ptr<RecordOperator> MakeSessionBidCounter(int64_t gap_ms,
 
 std::unique_ptr<RecordOperator> MakeAveragePricePerAuction(StateStoreOptions state_options) {
   return std::make_unique<AveragePricePerAuction>(state_options);
+}
+
+bool ParseSessionEntry(const std::string& value, int64_t* start, int64_t* last,
+                       int64_t* count) {
+  long long s = 0;
+  long long l = 0;
+  long long c = 0;
+  int consumed = 0;
+  if (std::sscanf(value.c_str(), "%lld %lld %lld %n", &s, &l, &c, &consumed) != 3 ||
+      value.c_str()[consumed] != '\0') {
+    return false;
+  }
+  *start = s;
+  *last = l;
+  *count = c;
+  return true;
+}
+
+bool ParseAverageEntry(const std::string& value, int64_t* count, int64_t* total) {
+  long long c = 0;
+  long long t = 0;
+  int consumed = 0;
+  if (std::sscanf(value.c_str(), "%lld %lld %n", &c, &t, &consumed) != 2 ||
+      value.c_str()[consumed] != '\0') {
+    return false;
+  }
+  *count = c;
+  *total = t;
+  return true;
 }
 
 uint64_t KeyByAuction(const Record& record) {

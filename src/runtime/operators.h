@@ -81,6 +81,17 @@ std::unique_ptr<RecordOperator> MakeAveragePricePerAuction(StateStoreOptions sta
 uint64_t KeyByAuction(const Record& record);
 uint64_t KeyByPersonOrSeller(const Record& record);
 
+// --- State-entry codecs ---------------------------------------------------------------------
+// Stateful operators persist small tuples as text in the state store. These parsers return
+// false on malformed input (truncated/corrupted entries, trailing garbage) instead of
+// aborting; the operators log and drop the bad entry, treating it as absent.
+
+// "<start> <last> <count>" as written by the session-window operator.
+bool ParseSessionEntry(const std::string& value, int64_t* start, int64_t* last,
+                       int64_t* count);
+// "<count> <total>" as written by the running-average operator.
+bool ParseAverageEntry(const std::string& value, int64_t* count, int64_t* total);
+
 }  // namespace capsys
 
 #endif  // SRC_RUNTIME_OPERATORS_H_

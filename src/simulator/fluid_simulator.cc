@@ -36,6 +36,7 @@ FluidSimulator::FluidSimulator(const PhysicalGraph& graph, const Cluster& cluste
     source_rates_[s] = 0.0;
   }
   failed_.assign(static_cast<size_t>(cluster_.num_workers()), false);
+  degrade_.assign(static_cast<size_t>(cluster_.num_workers()), 1.0);
   task_true_rate_.resize(n);
   task_observed_rate_.resize(n);
   op_emit_rate_.resize(static_cast<size_t>(graph_.num_operators()));
@@ -101,6 +102,17 @@ void FluidSimulator::RestoreWorker(WorkerId w) {
   failed_[static_cast<size_t>(w)] = false;
 }
 
+void FluidSimulator::DegradeWorker(WorkerId w, double factor) {
+  CAPSYS_CHECK(w >= 0 && w < cluster_.num_workers());
+  CAPSYS_CHECK_MSG(factor > 0.0 && factor <= 1.0, "degrade factor must be in (0, 1]");
+  degrade_[static_cast<size_t>(w)] = factor;
+}
+
+void FluidSimulator::SetMetricCorruption(const MetricCorruption& corruption, uint64_t seed) {
+  corruption_ = corruption;
+  corruption_rng_ = Rng(seed);
+}
+
 void FluidSimulator::SetSourceRate(OperatorId source_op, double records_per_s) {
   CAPSYS_CHECK_MSG(source_rates_.count(source_op) == 1, "not a source operator");
   source_rates_[source_op] = records_per_s;
@@ -159,6 +171,14 @@ void FluidSimulator::Step() {
     if (failed_[static_cast<size_t>(w)]) {
       std::fill(alloc.rate.begin(), alloc.rate.end(), 0.0);
       std::fill(alloc.capacity_rate.begin(), alloc.capacity_rate.end(), 0.0);
+    } else if (double degrade = degrade_[static_cast<size_t>(w)]; degrade < 1.0) {
+      // Transient slowdown: the whole worker runs at a fraction of its solved capacity.
+      for (double& r : alloc.rate) {
+        r *= degrade;
+      }
+      for (double& r : alloc.capacity_rate) {
+        r *= degrade;
+      }
     }
     eff_io_bw[static_cast<size_t>(w)] = alloc.effective_io_bandwidth;
     for (size_t k = 0; k < idxs.size(); ++k) {
@@ -431,24 +451,39 @@ QuerySummary FluidSimulator::Summarize(double from_s, double to_s) const {
   return s;
 }
 
+double FluidSimulator::CorruptedMean(const TimeSeries* ts, double from_s, double to_s) const {
+  if (ts == nullptr) {
+    return 0.0;
+  }
+  if (!corruption_.Active()) {
+    return ts->MeanOver(from_s, to_s);
+  }
+  double shift = corruption_.staleness_s;
+  if (corruption_.dropout_p > 0.0 && corruption_rng_.Bernoulli(corruption_.dropout_p)) {
+    // The fresh window was lost; the read falls back to the previous flush interval.
+    shift += config_.metrics_interval_s;
+  }
+  double v = ts->MeanOver(from_s - shift, to_s - shift);
+  if (corruption_.noise_frac > 0.0) {
+    v *= std::max(0.0, 1.0 + corruption_rng_.Normal(0.0, corruption_.noise_frac));
+  }
+  return v;
+}
+
 double FluidSimulator::OperatorEmitRate(OperatorId op, double from_s, double to_s) const {
-  const TimeSeries* ts = metrics_.Find(OperatorMetric(op, "emit_rate"));
-  return ts != nullptr ? ts->MeanOver(from_s, to_s) : 0.0;
+  return CorruptedMean(metrics_.Find(OperatorMetric(op, "emit_rate")), from_s, to_s);
 }
 
 double FluidSimulator::OperatorBackpressure(OperatorId op, double from_s, double to_s) const {
-  const TimeSeries* ts = metrics_.Find(OperatorMetric(op, "backpressure"));
-  return ts != nullptr ? ts->MeanOver(from_s, to_s) : 0.0;
+  return CorruptedMean(metrics_.Find(OperatorMetric(op, "backpressure")), from_s, to_s);
 }
 
 double FluidSimulator::OperatorInputRate(OperatorId op, double from_s, double to_s) const {
-  const TimeSeries* ts = metrics_.Find(OperatorMetric(op, "in_rate"));
-  return ts != nullptr ? ts->MeanOver(from_s, to_s) : 0.0;
+  return CorruptedMean(metrics_.Find(OperatorMetric(op, "in_rate")), from_s, to_s);
 }
 
 double FluidSimulator::OperatorOutputRate(OperatorId op, double from_s, double to_s) const {
-  const TimeSeries* ts = metrics_.Find(OperatorMetric(op, "out_rate"));
-  return ts != nullptr ? ts->MeanOver(from_s, to_s) : 0.0;
+  return CorruptedMean(metrics_.Find(OperatorMetric(op, "out_rate")), from_s, to_s);
 }
 
 double FluidSimulator::OperatorTrueRatePerTask(OperatorId op, double from_s, double to_s) const {
@@ -457,7 +492,7 @@ double FluidSimulator::OperatorTrueRatePerTask(OperatorId op, double from_s, dou
   for (TaskId t : graph_.TasksOf(op)) {
     const TimeSeries* ts = metrics_.Find(TaskMetric(t, "true_rate"));
     if (ts != nullptr) {
-      sum += ts->MeanOver(from_s, to_s);
+      sum += CorruptedMean(ts, from_s, to_s);
       ++n;
     }
   }

@@ -17,12 +17,25 @@
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/common/rng.h"
 #include "src/dataflow/placement.h"
 #include "src/dataflow/rates.h"
 #include "src/metrics/metrics.h"
 #include "src/simulator/contention.h"
 
 namespace capsys {
+
+// Corruption applied to the *controller-facing* metric reads (the Operator* accessors DS2
+// and the recovery planner consume). Ground-truth summaries (Summarize/RunMeasured) are
+// never corrupted — experiments still measure what actually happened. All fields off (0)
+// means reads are exact.
+struct MetricCorruption {
+  double dropout_p = 0.0;    // a read loses its window w.p. dropout_p and sees an older one
+  double staleness_s = 0.0;  // every read sees the window shifted this far into the past
+  double noise_frac = 0.0;   // multiplicative noise: value *= max(0, 1 + N(0, noise_frac))
+
+  bool Active() const { return dropout_p > 0.0 || staleness_s > 0.0 || noise_frac > 0.0; }
+};
 
 struct SimConfig {
   double tick_s = 0.1;
@@ -63,6 +76,18 @@ class FluidSimulator {
   void RestoreWorker(WorkerId w);
   bool IsWorkerFailed(WorkerId w) const { return failed_[static_cast<size_t>(w)]; }
 
+  // Fault injection: a degraded worker processes at `factor` (0 < factor <= 1) of its
+  // normal capacity — a transient slowdown/straggler (CPU throttling, noisy neighbour,
+  // compaction storm). factor = 1 restores full speed.
+  void DegradeWorker(WorkerId w, double factor);
+  double WorkerDegradeFactor(WorkerId w) const { return degrade_[static_cast<size_t>(w)]; }
+
+  // Fault injection: corrupts subsequent controller-facing metric reads (the Operator*
+  // accessors below). `seed` makes dropout/noise deterministic.
+  void SetMetricCorruption(const MetricCorruption& corruption, uint64_t seed);
+  void ClearMetricCorruption() { corruption_ = MetricCorruption{}; }
+  const MetricCorruption& metric_corruption() const { return corruption_; }
+
   // Advances the simulation.
   void Step();
   void RunFor(double seconds);
@@ -98,6 +123,8 @@ class FluidSimulator {
  private:
   void RebuildStatics();
   void FlushMetrics();
+  // Applies the active metric corruption to a controller-facing windowed read of `series`.
+  double CorruptedMean(const TimeSeries* ts, double from_s, double to_s) const;
 
   PhysicalGraph graph_;
   Cluster cluster_;
@@ -113,6 +140,9 @@ class FluidSimulator {
   std::vector<double> queue_capacity_;  // records
   std::vector<bool> is_source_;
   std::vector<bool> failed_;            // per worker
+  std::vector<double> degrade_;         // per worker capacity factor, 1.0 = healthy
+  MetricCorruption corruption_;
+  mutable Rng corruption_rng_{0};       // consumed only while corruption is active
 
   // Per-task static routing info.
   std::vector<std::vector<TaskId>> down_tasks_;  // distinct downstream tasks (via channels)

@@ -1,0 +1,374 @@
+// Tests for the chaos engine (robustness extension): fault schedules and injection,
+// heartbeat failure detection with suspicion and flap blacklisting, graceful degraded-mode
+// recovery, and the end-to-end chaos experiment driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/greedy.h"
+#include "src/controller/chaos_experiments.h"
+#include "src/controller/failure_detector.h"
+#include "src/controller/recovery.h"
+#include "src/dataflow/rates.h"
+#include "src/faults/fault_injector.h"
+#include "src/faults/fault_schedule.h"
+#include "src/nexmark/queries.h"
+#include "src/simulator/fluid_simulator.h"
+
+namespace capsys {
+namespace {
+
+// --- FaultSchedule ---------------------------------------------------------------------------
+
+TEST(FaultScheduleTest, ExpandFlattensCompoundEventsInTimeOrder) {
+  FaultSchedule s;
+  s.Slowdown(50.0, 2, 0.3, 30.0);  // degrade at 50, restore at 80
+  s.Flap(10.0, 1, 20.0, 2);        // crashes at 10, 30; restores at 20, 40
+  s.Crash(5.0, 0);
+  std::vector<PrimitiveFault> prims = s.Expand();
+  ASSERT_EQ(prims.size(), 7u);
+  for (size_t i = 1; i < prims.size(); ++i) {
+    EXPECT_LE(prims[i - 1].time_s, prims[i].time_s);
+  }
+  EXPECT_EQ(prims[0].kind, PrimitiveFault::Kind::kCrash);  // t=5 crash w0
+  EXPECT_EQ(prims[0].worker, 0);
+  EXPECT_EQ(prims[1].kind, PrimitiveFault::Kind::kCrash);  // t=10 flap down
+  EXPECT_EQ(prims[1].worker, 1);
+  EXPECT_EQ(prims[2].kind, PrimitiveFault::Kind::kRestore);  // t=20 flap up
+  // The slowdown expands into a degrade/restore pair.
+  EXPECT_EQ(prims[5].kind, PrimitiveFault::Kind::kSetDegrade);
+  EXPECT_DOUBLE_EQ(prims[5].value, 0.3);
+  EXPECT_EQ(prims[6].kind, PrimitiveFault::Kind::kSetDegrade);
+  EXPECT_DOUBLE_EQ(prims[6].value, 1.0);
+  EXPECT_DOUBLE_EQ(prims[6].time_s, 80.0);
+}
+
+TEST(FaultScheduleTest, RandomScheduleIsSeedDeterministic) {
+  FaultSchedule::RandomOptions options;
+  FaultSchedule a = FaultSchedule::Random(6, options, 42);
+  FaultSchedule b = FaultSchedule::Random(6, options, 42);
+  FaultSchedule c = FaultSchedule::Random(6, options, 43);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(FaultScheduleTest, RandomScheduleRespectsBlastRadius) {
+  FaultSchedule::RandomOptions options;
+  options.num_faults = 30;
+  options.allow_slowdowns = false;
+  options.allow_flaps = false;
+  options.allow_metric_faults = false;
+  options.max_concurrent_crashes = 2;
+  FaultSchedule s = FaultSchedule::Random(4, options, 7);
+  // Replay the primitive timeline and check at most 2 workers are ever down at once.
+  std::vector<bool> down(4, false);
+  for (const PrimitiveFault& p : s.Expand()) {
+    if (p.kind == PrimitiveFault::Kind::kCrash) {
+      down[static_cast<size_t>(p.worker)] = true;
+    } else if (p.kind == PrimitiveFault::Kind::kRestore) {
+      down[static_cast<size_t>(p.worker)] = false;
+    }
+    EXPECT_LE(std::count(down.begin(), down.end(), true), 2);
+  }
+}
+
+// --- Simulator degradation and metric corruption ---------------------------------------------
+
+FluidSimulator MakeQ1Sim(const Cluster& cluster, double rate) {
+  QuerySpec q = BuildQ1Sliding();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  FluidSimulator sim(graph, cluster, GreedyBalancedPlacement(model));
+  sim.SetAllSourceRates(rate);
+  return sim;
+}
+
+TEST(DegradeWorkerTest, StragglerSlowsButDoesNotStopThroughput) {
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  FluidSimulator sim = MakeQ1Sim(cluster, 20000.0);
+  sim.RunFor(30);
+  double healthy = sim.Summarize(sim.time_s() - 15, sim.time_s()).throughput;
+  sim.DegradeWorker(0, 0.2);
+  EXPECT_DOUBLE_EQ(sim.WorkerDegradeFactor(0), 0.2);
+  sim.RunFor(30);
+  double degraded = sim.Summarize(sim.time_s() - 15, sim.time_s()).throughput;
+  EXPECT_LT(degraded, healthy * 0.9);  // visibly slower...
+  EXPECT_GT(degraded, 0.0);            // ...but alive, unlike a crash
+  sim.DegradeWorker(0, 1.0);
+  sim.RunFor(40);
+  double restored = sim.Summarize(sim.time_s() - 15, sim.time_s()).throughput;
+  EXPECT_NEAR(restored, healthy, healthy * 0.05);
+}
+
+TEST(MetricCorruptionTest, CorruptsControllerReadsButNotGroundTruth) {
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  FluidSimulator sim = MakeQ1Sim(cluster, 10000.0);
+  sim.RunFor(60);
+  double t = sim.time_s();
+  double clean_read = sim.OperatorEmitRate(0, t - 20, t);
+  double clean_truth = sim.Summarize(t - 20, t).throughput;
+  ASSERT_GT(clean_read, 0.0);
+
+  MetricCorruption corruption;
+  corruption.noise_frac = 0.5;
+  corruption.staleness_s = 10.0;
+  sim.SetMetricCorruption(corruption, 99);
+  double noisy = sim.OperatorEmitRate(0, t - 20, t);
+  EXPECT_NE(noisy, clean_read);
+  // Ground truth is immune: experiments must not be able to lie to themselves.
+  EXPECT_DOUBLE_EQ(sim.Summarize(t - 20, t).throughput, clean_truth);
+
+  sim.ClearMetricCorruption();
+  EXPECT_DOUBLE_EQ(sim.OperatorEmitRate(0, t - 20, t), clean_read);
+}
+
+// --- Failure detector ------------------------------------------------------------------------
+
+FailureDetectorOptions FastDetector() {
+  FailureDetectorOptions o;
+  o.heartbeat_interval_s = 1.0;
+  o.timeout_s = 3.0;
+  o.dead_after_misses = 3;
+  return o;
+}
+
+TEST(FailureDetectorTest, SilentWorkerProgressesSuspectedThenDead) {
+  FailureDetector det(2, FastDetector());
+  // Both workers beat at t=1; then w1 goes silent.
+  det.RecordHeartbeat(0, 1.0);
+  det.RecordHeartbeat(1, 1.0);
+  std::vector<WorkerId> dead;
+  for (double now = 2.0; now <= 16.0; now += 1.0) {
+    det.RecordHeartbeat(0, now);
+    for (WorkerId w : det.Tick(now)) {
+      dead.push_back(w);
+    }
+    if (now < 1.0 + det.options().timeout_s) {
+      EXPECT_EQ(det.HealthOf(1), WorkerHealth::kAlive) << "t=" << now;
+    }
+  }
+  ASSERT_EQ(dead.size(), 1u);  // declared exactly once
+  EXPECT_EQ(dead[0], 1);
+  EXPECT_EQ(det.HealthOf(1), WorkerHealth::kDead);
+  EXPECT_EQ(det.HealthOf(0), WorkerHealth::kAlive);
+  EXPECT_FALSE(det.IsUsable(1, 16.0));
+  // A heartbeat brings it back.
+  det.RecordHeartbeat(1, 17.0);
+  EXPECT_EQ(det.HealthOf(1), WorkerHealth::kAlive);
+  EXPECT_TRUE(det.IsUsable(1, 17.0));
+}
+
+TEST(FailureDetectorTest, StragglerIsSuspectedButNeverDeclaredDead) {
+  FailureDetector det(1, FastDetector());
+  // A degraded worker beats every 4 s: slower than the 3 s timeout (so it accumulates one
+  // miss and gets suspected) but never 3 consecutive misses.
+  bool ever_suspected = false;
+  double last_beat = 0.0;
+  for (double now = 0.5; now <= 120.0; now += 0.5) {
+    if (now - last_beat >= 4.0) {
+      det.RecordHeartbeat(0, now);
+      last_beat = now;
+    }
+    EXPECT_TRUE(det.Tick(now).empty()) << "straggler declared dead at t=" << now;
+    ever_suspected = ever_suspected || det.HealthOf(0) == WorkerHealth::kSuspected;
+    EXPECT_TRUE(det.IsUsable(0, now));  // suspicion must not evict it from placement
+  }
+  EXPECT_TRUE(ever_suspected);
+  EXPECT_EQ(det.deaths_declared(), 0);
+}
+
+TEST(FailureDetectorTest, FlappingWorkerIsBlacklistedWithBackoff) {
+  FailureDetectorOptions o = FastDetector();
+  o.flap_deaths_to_blacklist = 2;
+  o.flap_window_s = 120.0;
+  o.blacklist_base_s = 30.0;
+  FailureDetector det(1, o);
+  // Cycle: silent long enough to die, then one beat, repeated.
+  double now = 0.0;
+  auto kill_once = [&]() {
+    det.RecordHeartbeat(0, now);
+    int deaths = 0;
+    for (int i = 0; i < 20 && deaths == 0; ++i) {
+      now += 1.0;
+      deaths = static_cast<int>(det.Tick(now).size());
+    }
+    EXPECT_EQ(deaths, 1);
+  };
+  kill_once();
+  EXPECT_FALSE(det.IsBlacklisted(0, now));  // one death is not flapping
+  kill_once();
+  EXPECT_TRUE(det.IsBlacklisted(0, now));  // two deaths within the window
+  double until_first = det.BlacklistedUntil(0);
+  EXPECT_NEAR(until_first - now, 30.0, 1e-9);
+  EXPECT_FALSE(det.IsUsable(0, now));
+  // Blacklisted-but-beating is still not usable until the backoff expires.
+  det.RecordHeartbeat(0, now);
+  EXPECT_FALSE(det.IsUsable(0, now + 1.0));
+  EXPECT_TRUE(det.IsUsable(0, until_first + 1.0));
+  // A third death doubles the backoff.
+  kill_once();
+  EXPECT_NEAR(det.BlacklistedUntil(0) - now, 60.0, 1e-9);
+}
+
+// --- Injector heartbeats ---------------------------------------------------------------------
+
+TEST(FaultInjectorTest, CrashedWorkerEmitsNoHeartbeatsUntilRestored) {
+  FaultSchedule s;
+  s.Crash(5.0, 1).Restore(10.0, 1);
+  FaultInjector injector(s, 2, 3);
+  std::vector<int> beats(2, 0);
+  for (double now = 1.0; now <= 20.0; now += 1.0) {
+    injector.AdvanceTo(now, nullptr);
+    for (WorkerId w : injector.CollectHeartbeats(now)) {
+      ++beats[static_cast<size_t>(w)];
+    }
+    if (now >= 5.0 && now < 10.0) {
+      EXPECT_TRUE(injector.IsCrashed(1));
+    }
+  }
+  EXPECT_EQ(beats[0], 20);          // healthy worker beats every interval
+  EXPECT_GT(beats[1], 10);          // crashed 5 s out of 20
+  EXPECT_LT(beats[1], beats[0]);
+  EXPECT_FALSE(injector.IsCrashed(1));
+}
+
+// --- Recovery planning -----------------------------------------------------------------------
+
+DeployOptions CheapDeploy() {
+  DeployOptions o;
+  o.policy = PlacementPolicy::kFlinkEvenly;
+  o.use_ds2_sizing = true;
+  o.seed = 1;
+  return o;
+}
+
+TEST(RecoveryTest, FullWidthWhenSurvivorsHaveRoom) {
+  Cluster cluster(6, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  CapsysController controller(cluster, CheapDeploy());
+  Deployment d = controller.Deploy(q);
+  std::vector<bool> usable(6, true);
+  usable[1] = false;
+  RecoveryPlan plan = PlanRecovery(d.graph, d.source_rates, d.costs, cluster, usable,
+                                   CheapDeploy());
+  EXPECT_EQ(plan.outcome, RecoveryOutcome::kRecoveredFull);
+  EXPECT_EQ(plan.graph.total_parallelism(), d.graph.total_parallelism());
+  for (TaskId t = 0; t < plan.physical.num_tasks(); ++t) {
+    EXPECT_NE(plan.placement.WorkerOf(t), 1);  // never lands on the dead worker
+  }
+}
+
+TEST(RecoveryTest, DownScalesWhenSlotsAreShort) {
+  Cluster cluster(6, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  q.ScaleRates(2.0);  // widen the query past one worker's slot budget
+  CapsysController controller(cluster, CheapDeploy());
+  Deployment d = controller.Deploy(q);
+  ASSERT_GT(d.graph.total_parallelism(), 4);
+  std::vector<bool> usable(6, false);
+  usable[0] = true;  // one 4-slot worker survives
+  RecoveryPlan plan = PlanRecovery(d.graph, d.source_rates, d.costs, cluster, usable,
+                                   CheapDeploy());
+  EXPECT_EQ(plan.outcome, RecoveryOutcome::kRecoveredDegraded);
+  EXPECT_LE(plan.graph.total_parallelism(), 4);
+  EXPECT_GE(plan.graph.total_parallelism(), static_cast<int>(d.graph.operators().size()));
+  EXPECT_GT(plan.sustainable_rate, 0.0);
+  EXPECT_LT(plan.sustainable_rate, q.TotalTargetRate());
+  for (TaskId t = 0; t < plan.physical.num_tasks(); ++t) {
+    EXPECT_EQ(plan.placement.WorkerOf(t), 0);
+  }
+}
+
+TEST(RecoveryTest, UnplaceableIsStructuredNotFatal) {
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  CapsysController controller(cluster, CheapDeploy());
+  Deployment d = controller.Deploy(q);
+  std::vector<bool> nobody(4, false);
+  RecoveryPlan plan = PlanRecovery(d.graph, d.source_rates, d.costs, cluster, nobody,
+                                   CheapDeploy());
+  EXPECT_EQ(plan.outcome, RecoveryOutcome::kUnplaceable);
+  EXPECT_FALSE(plan.Placeable());
+}
+
+// --- End-to-end chaos runs -------------------------------------------------------------------
+
+ChaosExperimentOptions FastChaos() {
+  ChaosExperimentOptions o;
+  o.policy = PlacementPolicy::kFlinkEvenly;  // deterministic and cheap to re-place
+  o.run_s = 180.0;
+  o.seed = 11;
+  o.upscale_cooldown_s = 20.0;
+  return o;
+}
+
+TEST(ChaosExperimentTest, SlotShortageDownScalesInsteadOfAborting) {
+  Cluster cluster(6, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  q.ScaleRates(2.0);  // DS2 sizes the query wider than one worker
+  // Five of six workers die and stay down: full parallelism no longer fits anywhere.
+  FaultSchedule s;
+  for (WorkerId w = 1; w < 6; ++w) {
+    s.Crash(40.0, w);
+  }
+  ChaosRun run = RunChaosExperiment(q, cluster, s, FastChaos());
+  EXPECT_EQ(run.last_outcome, RecoveryOutcome::kRecoveredDegraded);
+  EXPECT_GE(run.reconfigurations, 1);
+  EXPECT_LE(run.final_slots, 4);
+  // The degraded deployment still processes data at the end of the run.
+  ASSERT_FALSE(run.timeline.empty());
+  EXPECT_GT(run.timeline.back().throughput, 0.0);
+}
+
+TEST(ChaosExperimentTest, TotalClusterLossYieldsUnplaceableVerdict) {
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  FaultSchedule s;
+  for (WorkerId w = 0; w < 4; ++w) {
+    s.Crash(30.0, w);
+  }
+  ChaosExperimentOptions o = FastChaos();
+  o.run_s = 120.0;
+  ChaosRun run = RunChaosExperiment(q, cluster, s, o);  // must not abort
+  EXPECT_EQ(run.last_outcome, RecoveryOutcome::kUnplaceable);
+  EXPECT_GE(run.unplaceable_verdicts, 1);
+  EXPECT_EQ(run.false_positives, 0);
+}
+
+TEST(ChaosExperimentTest, StragglerAloneCausesNoDeathsOrReconfigurations) {
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  FaultSchedule s;
+  s.Slowdown(40.0, 2, 0.25, 60.0);
+  ChaosExperimentOptions o = FastChaos();
+  o.run_s = 150.0;
+  ChaosRun run = RunChaosExperiment(q, cluster, s, o);
+  EXPECT_EQ(run.deaths_declared, 0);
+  EXPECT_EQ(run.false_positives, 0);
+  EXPECT_EQ(run.reconfigurations, 0);
+  EXPECT_EQ(run.last_outcome, RecoveryOutcome::kRecoveredFull);
+}
+
+TEST(ChaosExperimentTest, SameSeedYieldsIdenticalRecoveryTimeline) {
+  Cluster cluster(5, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  FaultSchedule s;
+  s.Crash(30.0, 1).Restore(90.0, 1);
+  s.Slowdown(50.0, 2, 0.3, 20.0);
+  s.MetricDropout(40.0, 0.4, 30.0);
+  ChaosRun a = RunChaosExperiment(q, cluster, s, FastChaos());
+  ChaosRun b = RunChaosExperiment(q, cluster, s, FastChaos());
+  EXPECT_EQ(a.ToString(), b.ToString());
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.timeline[i].throughput, b.timeline[i].throughput) << "sample " << i;
+    EXPECT_EQ(a.timeline[i].slots, b.timeline[i].slots);
+  }
+  EXPECT_EQ(a.reconfig_times_s, b.reconfig_times_s);
+}
+
+}  // namespace
+}  // namespace capsys
