@@ -6,11 +6,19 @@
 // reconfigurations. Reports MTTR, reconfiguration count, throughput-loss integral, and
 // detector false positives per policy. The schedule and all randomness are seeded, so the
 // comparison across policies is exact.
+// Each policy's run additionally exports a full telemetry bundle (metrics.prom,
+// metrics.json, trace.json, events.jsonl) under $CAPSYS_TELEMETRY_DIR/<policy>/ (default
+// ./chaos_telemetry) — see EXPERIMENTS.md "Inspecting a run".
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "src/common/str.h"
 #include "src/controller/chaos_experiments.h"
 #include "src/nexmark/queries.h"
+#include "src/obs/events.h"
+#include "src/obs/exporters.h"
+#include "src/obs/trace.h"
 
 namespace capsys {
 namespace {
@@ -44,6 +52,11 @@ int Main() {
   q.ScaleRates(2.0);
   FaultSchedule schedule = BuildSchedule();
 
+  const char* env_dir = std::getenv("CAPSYS_TELEMETRY_DIR");
+  std::string telemetry_dir = env_dir != nullptr ? env_dir : "chaos_telemetry";
+  Tracer::Global().Enable();
+  EventLog::Global().Enable();
+
   std::printf("=== Chaos run: Q1-sliding on %s, 420 s ===\n\nschedule: %s\n\n",
               cluster.ToString().c_str(), schedule.ToString().c_str());
   std::printf("%-10s %-9s %-7s %-9s %-11s %-8s %-9s %-10s %-10s %s\n", "policy", "reconfigs",
@@ -55,7 +68,17 @@ int Main() {
     options.policy = policy;
     options.run_s = 420.0;
     options.seed = 7;
+    Tracer::Global().Reset();
+    EventLog::Global().Reset();
     ChaosRun run = RunChaosExperiment(q, cluster, schedule, options);
+    std::string bundle_dir = telemetry_dir + "/" + PolicyName(policy);
+    std::string error;
+    if (WriteTelemetryBundle(bundle_dir, &run.telemetry, &error)) {
+      std::printf("telemetry bundle: %s/ (%zu spans, %zu events)\n", bundle_dir.c_str(),
+                  Tracer::Global().SpanCount(), EventLog::Global().Count());
+    } else {
+      std::printf("telemetry bundle FAILED: %s\n", error.c_str());
+    }
     std::printf("--- %s timeline (t: thr/achievable, slots) ---\n", PolicyName(policy));
     for (size_t i = 5; i < run.timeline.size(); i += 6) {
       const TimelinePoint& p = run.timeline[i];

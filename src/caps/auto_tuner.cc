@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/str.h"
+#include "src/obs/trace.h"
 
 namespace capsys {
 namespace {
@@ -36,16 +37,24 @@ std::string AutoTuneResult::ToString() const {
 AutoTuneResult AutoTuneThresholds(const CostModel& model, const AutoTuneOptions& options) {
   CAPSYS_CHECK(options.relax_factor > 1.0);
   CAPSYS_CHECK(options.initial_alpha > 0.0);
+  Span tune_span("caps.autotune");
   auto start = std::chrono::steady_clock::now();
   auto elapsed = [&start] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   };
 
   AutoTuneResult result;
+  // Each feasibility probe is one tuning iteration: a find-first search under the candidate
+  // thresholds, traced as its own (nested) span.
   auto probe = [&](const ResourceVector& alpha) {
+    Span probe_span("caps.autotune.probe");
+    probe_span.AddAttr("iteration", result.iterations);
+    probe_span.AddAttr("alpha", alpha.ToString());
     ++result.iterations;
     double budget = std::min(options.probe_timeout_s, options.timeout_s - elapsed());
-    return Feasible(model, alpha, options.num_threads, budget);
+    bool feasible = Feasible(model, alpha, options.num_threads, budget);
+    probe_span.AddAttr("feasible", feasible ? "true" : "false");
+    return feasible;
   };
   auto out_of_time = [&] { return elapsed() > options.timeout_s; };
 

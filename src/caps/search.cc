@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/str.h"
+#include "src/obs/trace.h"
 
 namespace capsys {
 namespace {
@@ -395,6 +396,10 @@ void CapsSearch::AtLeaf(Ctx& ctx) {
 }
 
 SearchResult CapsSearch::Run() {
+  Span span("caps.search.run");
+  span.AddAttr("threads", options_.num_threads);
+  span.AddAttr("find_first", options_.find_first ? "true" : "false");
+  span.AddAttr("alpha", options_.alpha.ToString());
   start_ = std::chrono::steady_clock::now();
   const Cluster& cluster = model_.cluster();
   CAPSYS_CHECK_MSG(cluster.total_slots() >= model_.graph().num_tasks(),
@@ -406,14 +411,17 @@ SearchResult CapsSearch::Run() {
       static_cast<size_t>(cluster.num_workers()),
       std::vector<int>(static_cast<size_t>(model_.graph().logical().num_operators()), 0));
 
-  if (options_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-    auto shared_root = std::make_shared<Ctx>(std::move(root));
-    pool_->Submit([this, shared_root] { PlaceOp(*shared_root, 0); });
-    pool_->Wait();
-    pool_.reset();
-  } else {
-    PlaceOp(root, 0);
+  {
+    Span explore("caps.search.explore");
+    if (options_.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+      auto shared_root = std::make_shared<Ctx>(std::move(root));
+      pool_->Submit([this, shared_root] { PlaceOp(*shared_root, 0); });
+      pool_->Wait();
+      pool_.reset();
+    } else {
+      PlaceOp(root, 0);
+    }
   }
 
   result_.stats.nodes = nodes_.load();
@@ -422,6 +430,13 @@ SearchResult CapsSearch::Run() {
   result_.stats.timed_out = timed_out_.load();
   result_.stats.elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  span.AddAttr("nodes", result_.stats.nodes);
+  span.AddAttr("leaves", result_.stats.leaves);
+  span.AddAttr("pruned", result_.stats.pruned);
+  span.AddAttr("found", result_.found ? "true" : "false");
+  if (result_.stats.timed_out) {
+    span.AddAttr("timed_out", "true");
+  }
   return result_;
 }
 

@@ -1,15 +1,22 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
+#include <string>
 
 namespace capsys {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_log_mutex;
+std::once_flag g_env_once;
+std::atomic<int> g_next_thread_id{0};
+thread_local int tls_thread_id = -1;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -27,18 +34,70 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+void InitLevelFromEnv() {
+  const char* env = std::getenv("CAPSYS_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return;
+  }
+  std::string v;
+  for (const char* p = env; *p != '\0'; ++p) {
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  int level = -1;
+  if (v == "debug" || v == "0") {
+    level = static_cast<int>(LogLevel::kDebug);
+  } else if (v == "info" || v == "1") {
+    level = static_cast<int>(LogLevel::kInfo);
+  } else if (v == "warn" || v == "warning" || v == "2") {
+    level = static_cast<int>(LogLevel::kWarn);
+  } else if (v == "error" || v == "3") {
+    level = static_cast<int>(LogLevel::kError);
+  } else if (v == "off" || v == "none" || v == "4") {
+    level = static_cast<int>(LogLevel::kOff);
+  } else {
+    std::fprintf(stderr, "W logging: unrecognized CAPSYS_LOG_LEVEL=\"%s\" ignored\n", env);
+    return;
+  }
+  g_level.store(level);
+}
+
+void EnsureEnvApplied() { std::call_once(g_env_once, InitLevelFromEnv); }
+
+int ThisThreadId() {
+  if (tls_thread_id < 0) {
+    tls_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_id;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) {
+  EnsureEnvApplied();  // an explicit call must win over the environment, not race with it
+  g_level.store(static_cast<int>(level));
+}
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel GetLogLevel() {
+  EnsureEnvApplied();
+  return static_cast<LogLevel>(g_level.load());
+}
 
 void LogMessage(LogLevel level, const std::string& module, const std::string& msg) {
+  EnsureEnvApplied();
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
+  auto now = std::chrono::system_clock::now();
+  std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch()).count() %
+      1000);
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "%s %s: %s\n", LevelTag(level), module.c_str(), msg.c_str());
+  std::fprintf(stderr, "%s %02d:%02d:%02d.%03d [t%d] %s: %s\n", LevelTag(level), tm_buf.tm_hour,
+               tm_buf.tm_min, tm_buf.tm_sec, millis, ThisThreadId(), module.c_str(),
+               msg.c_str());
 }
 
 void CheckFailed(const char* file, int line, const char* expr, const std::string& msg) {

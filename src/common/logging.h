@@ -8,10 +8,14 @@ namespace capsys {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+// The initial level is kWarn, overridable at startup via the CAPSYS_LOG_LEVEL environment
+// variable ("debug"/"info"/"warn"/"error"/"off", case-insensitive, or the numeric value) —
+// so bench/CI runs can raise verbosity without code edits. SetLogLevel overrides both.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits one log line "L <module>: <msg>" if `level` >= the global level.
+// Emits one log line "L HH:MM:SS.mmm [tN] <module>: <msg>" if `level` >= the global level,
+// where HH:MM:SS.mmm is local wall-clock time and tN a stable per-thread logical id.
 void LogMessage(LogLevel level, const std::string& module, const std::string& msg);
 
 #define CAPSYS_LOG_DEBUG(mod, msg) ::capsys::LogMessage(::capsys::LogLevel::kDebug, (mod), (msg))

@@ -1,12 +1,15 @@
 #include "src/controller/chaos_experiments.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
 #include "src/common/logging.h"
 #include "src/common/str.h"
 #include "src/dataflow/rates.h"
+#include "src/obs/events.h"
+#include "src/obs/trace.h"
 
 namespace capsys {
 
@@ -24,6 +27,11 @@ ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
                             const ChaosExperimentOptions& options) {
   ChaosRun run;
   const double target = query.TotalTargetRate();
+  Span chaos_span("chaos.run");
+  chaos_span.AddAttr("policy", PolicyName(options.policy));
+  chaos_span.AddAttr("run_s", options.run_s);
+  // All structured events below stamp against the driver's global clock.
+  EventLog::Global().set_now(0.0);
 
   // --- Initial deployment -------------------------------------------------------------------
   DeployOptions deploy_options;
@@ -71,24 +79,30 @@ ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
     injector.AdvanceTo(now, sim.get());
     sim->RunFor(options.control_interval_s);
     now += options.control_interval_s;
+    EventLog::Global().set_now(now);
     for (WorkerId w : injector.CollectHeartbeats(now)) {
       detector.RecordHeartbeat(w, now);
     }
     for (WorkerId w : detector.Tick(now)) {
+      EmitWorkerDeclaredDead(now, w, injector.IsCrashed(w));
       if (!injector.IsCrashed(w)) {
         ++run.false_positives;
+        run.telemetry.GetCounter("chaos.0.false_positives").Add();
         CAPSYS_LOG_WARN("chaos", Sprintf("false positive: w%d declared dead but alive", w));
       }
     }
     if (now + 1e-9 >= next_sample) {
       double local = now - global_offset;
-      run.timeline.push_back(TimelinePoint{
-          .time_s = now,
-          .target_rate = achievable,
-          .throughput =
-              sim->Summarize(std::max(0.0, local - options.sample_interval_s), local)
-                  .throughput,
-          .slots = graph.total_parallelism()});
+      double throughput =
+          sim->Summarize(std::max(0.0, local - options.sample_interval_s), local).throughput;
+      run.timeline.push_back(TimelinePoint{.time_s = now,
+                                           .target_rate = achievable,
+                                           .throughput = throughput,
+                                           .slots = graph.total_parallelism()});
+      run.telemetry.Record("chaos.0.throughput", now, throughput);
+      run.telemetry.Record("chaos.0.target_rate", now, achievable);
+      run.telemetry.Record("chaos.0.slots", now, graph.total_parallelism());
+      run.telemetry.Record("chaos.0.usable_workers", now, detector.NumUsable(now));
       next_sample += options.sample_interval_s;
     }
   };
@@ -121,14 +135,23 @@ ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
     }
 
     // --- Recovery attempt, with bounded retry under churn -----------------------------------
+    Span recovery_span("chaos.recovery_attempt");
+    recovery_span.AddAttr("t", now);
+    recovery_span.AddAttr("trigger", hosts_unusable ? "unusable_host" : "rebalance");
     RecoveryPlan plan;
     bool plan_usable = false;
     for (int attempt = 0; attempt <= options.max_replan_retries; ++attempt) {
       if (attempt > 0) {
         ++run.replan_churn_retries;
+        run.telemetry.GetCounter("chaos.0.churn_retries").Add();
       }
+      auto replan_start = std::chrono::steady_clock::now();
       plan = PlanRecovery(nominal_graph, d.source_rates, d.costs, cluster,
                           detector.UsableMask(now), deploy_options);
+      run.telemetry.GetHistogram("chaos.0.replan_seconds")
+          .Observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                 replan_start)
+                       .count());
       // The search takes time; faults keep landing while it runs.
       advance(options.replan_latency_s);
       if (!plan.Placeable()) {
@@ -150,6 +173,8 @@ ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
       // achievable bar intentionally stays at the last feasible plan's value so the stall
       // is accounted as an (un)recovered outage, not defined away.
       ++run.unplaceable_verdicts;
+      run.telemetry.GetCounter("chaos.0.unplaceable_verdicts").Add();
+      EmitRecoveryVerdict(now, "unplaceable", detector.NumUsable(now));
       run.last_outcome = RecoveryOutcome::kUnplaceable;
       last_unplaceable_s = now;
       CAPSYS_LOG_WARN("chaos",
@@ -170,10 +195,14 @@ ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
     plan_usable_workers = detector.NumUsable(now);
     achievable = std::min(target, plan.sustainable_rate);
     ++run.reconfigurations;
+    run.telemetry.GetCounter("chaos.0.reconfigurations").Add();
+    EmitReconfiguration(now, RecoveryOutcomeName(plan.outcome), plan.graph.total_parallelism(),
+                        plan.sustainable_rate);
     run.reconfig_times_s.push_back(now);
     last_reconfig_s = now;
     global_offset = now;
     sim = std::make_unique<FluidSimulator>(physical, cluster, placement, sim_config);
+    sim->SetTelemetryTimeOffset(global_offset);
     injector.ApplyCurrentState(sim.get());
     if (options.reconfigure_downtime_s > 0.0) {
       // Checkpoint-restore blackout: sources stay silent until the job is back up.
@@ -221,6 +250,12 @@ ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
       run.timeline.empty() ? 0.0 : thr_sum / static_cast<double>(run.timeline.size());
   run.deaths_declared = detector.deaths_declared();
   run.final_slots = graph.total_parallelism();
+  if (chaos_span.active()) {
+    chaos_span.AddAttr("reconfigurations", run.reconfigurations);
+    chaos_span.AddAttr("outages", run.outages);
+    chaos_span.AddAttr("mttr_s", run.mttr_s);
+    chaos_span.AddAttr("mean_throughput", run.mean_throughput);
+  }
   return run;
 }
 

@@ -17,6 +17,7 @@
 #include "src/controller/scaling_experiments.h"
 #include "src/faults/fault_injector.h"
 #include "src/faults/fault_schedule.h"
+#include "src/metrics/metrics.h"
 
 namespace capsys {
 
@@ -74,6 +75,11 @@ struct ChaosRun {
 
   RecoveryOutcome last_outcome = RecoveryOutcome::kRecoveredFull;
   int final_slots = 0;
+
+  // Driver-side telemetry on the global timeline: "chaos.0.*" gauges sampled with the
+  // timeline, reconfiguration/verdict counters, and the replan-latency histogram. Exported
+  // alongside events/spans in the telemetry bundle (src/obs/exporters.h).
+  MetricsRegistry telemetry;
 
   std::string ToString() const;
 };

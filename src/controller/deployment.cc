@@ -9,6 +9,8 @@
 #include "src/common/logging.h"
 #include "src/common/str.h"
 #include "src/dataflow/rates.h"
+#include "src/obs/events.h"
+#include "src/obs/trace.h"
 
 namespace capsys {
 
@@ -66,15 +68,21 @@ Deployment CapsysController::Deploy(const QuerySpec& query) {
 
 Deployment CapsysController::DeployGraph(const LogicalGraph& graph,
                                          const std::map<OperatorId, double>& source_rates) {
+  Span deploy_span("controller.deploy");
+  deploy_span.AddAttr("policy", PolicyName(options_.policy));
   Deployment d;
   d.graph = graph;
   d.source_rates = source_rates;
 
   // ② Profiling job: per-operator unit costs.
-  d.costs = ProfileOperators(graph, source_rates, cluster_.worker(0).spec, options_.profile);
+  {
+    Span profile_span("controller.profile");
+    d.costs = ProfileOperators(graph, source_rates, cluster_.worker(0).spec, options_.profile);
+  }
 
   // ③ Scaling controller (DS2): parallelism per operator from profiled standalone rates.
   if (options_.use_ds2_sizing) {
+    Span ds2_span("controller.ds2_sizing");
     std::vector<Ds2Observation> obs(static_cast<size_t>(graph.num_operators()));
     for (OperatorId o = 0; o < graph.num_operators(); ++o) {
       obs[static_cast<size_t>(o)].true_rate_per_task =
@@ -84,7 +92,13 @@ Deployment CapsysController::DeployGraph(const LogicalGraph& graph,
     ds2.max_parallelism = std::min(ds2.max_parallelism, cluster_.slots_per_worker() *
                                                             cluster_.num_workers());
     Ds2Decision decision = Ds2Scale(graph, source_rates, obs, ds2);
+    int slots_before = d.graph.total_parallelism();
     d.graph.SetParallelism(decision.parallelism);
+    ds2_span.AddAttr("parallelism", decision.ToString());
+    if (decision.changed) {
+      EmitScaleDecision(EventLog::Global().now(), "ds2_sizing", slots_before,
+                        d.graph.total_parallelism(), decision.ToString());
+    }
   }
 
   // ④ Placement controller.
@@ -100,6 +114,9 @@ Deployment CapsysController::DeployGraph(const LogicalGraph& graph,
 
 Placement CapsysController::Place(const PhysicalGraph& physical,
                                   const std::vector<ResourceVector>& demands, Deployment* out) {
+  Span place_span("controller.place");
+  place_span.AddAttr("policy", PolicyName(options_.policy));
+  place_span.AddAttr("tasks", physical.num_tasks());
   auto start = std::chrono::steady_clock::now();
   Placement placement;
   ResourceVector alpha{1.0, 1.0, 1.0};
@@ -164,6 +181,10 @@ Placement CapsysController::Place(const PhysicalGraph& physical,
     out->plan_cost = plan_cost;
     out->decision_time_s = elapsed;
   }
+  place_span.AddAttr("decision_time_s", elapsed);
+  EmitPlacementDecision(EventLog::Global().now(), PolicyName(options_.policy),
+                        physical.num_tasks(), cluster_.num_workers(), alpha, plan_cost,
+                        elapsed);
   return placement;
 }
 

@@ -5,6 +5,8 @@
 #include "src/common/logging.h"
 #include "src/common/str.h"
 #include "src/dataflow/rates.h"
+#include "src/obs/events.h"
+#include "src/obs/trace.h"
 
 namespace capsys {
 
@@ -59,6 +61,7 @@ RecoveryPlan PlanRecovery(const LogicalGraph& graph,
                           const std::vector<bool>& usable, const DeployOptions& options) {
   CAPSYS_CHECK(static_cast<int>(usable.size()) == cluster.num_workers());
   CAPSYS_CHECK(static_cast<int>(costs.size()) == graph.num_operators());
+  Span span("controller.plan_recovery");
   RecoveryPlan plan;
   plan.slots_before = graph.total_parallelism();
 
@@ -132,6 +135,8 @@ RecoveryPlan PlanRecovery(const LogicalGraph& graph,
       repair_forward(plan.graph);
     }
     plan.outcome = RecoveryOutcome::kRecoveredDegraded;
+    EmitScaleDecision(EventLog::Global().now(), "degraded_recovery", plan.slots_before,
+                      plan.graph.total_parallelism(), decision.ToString());
     CAPSYS_LOG_WARN("recovery", Sprintf("down-scaled %d -> %d tasks to fit %d usable slots",
                                         plan.slots_before, plan.graph.total_parallelism(),
                                         available_slots));

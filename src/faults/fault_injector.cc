@@ -4,8 +4,32 @@
 
 #include "src/common/logging.h"
 #include "src/common/str.h"
+#include "src/obs/events.h"
 
 namespace capsys {
+
+namespace {
+
+const char* FaultKindName(PrimitiveFault::Kind kind) {
+  using Kind = PrimitiveFault::Kind;
+  switch (kind) {
+    case Kind::kCrash:
+      return "crash";
+    case Kind::kRestore:
+      return "restore";
+    case Kind::kSetDegrade:
+      return "degrade";
+    case Kind::kSetDropout:
+      return "metric_dropout_p";
+    case Kind::kSetStaleness:
+      return "metric_staleness_s";
+    case Kind::kSetNoise:
+      return "metric_noise_frac";
+  }
+  return "?";
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(const FaultSchedule& schedule, int num_workers, uint64_t seed,
                              InjectorOptions options)
@@ -24,6 +48,7 @@ void FaultInjector::AdvanceTo(double now, FluidSimulator* sim) {
   bool corruption_changed = false;
   while (next_ < timeline_.size() && timeline_[next_].time_s <= now + 1e-9) {
     const PrimitiveFault& f = timeline_[next_];
+    EmitFaultInjected(f.time_s, FaultKindName(f.kind), f.worker, f.value);
     using Kind = PrimitiveFault::Kind;
     switch (f.kind) {
       case Kind::kCrash:

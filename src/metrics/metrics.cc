@@ -1,12 +1,18 @@
 #include "src/metrics/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/common/logging.h"
 #include "src/common/str.h"
 
 namespace capsys {
 
 void TimeSeries::Record(double time_s, double value) {
+  CAPSYS_CHECK_MSG(points_.empty() || time_s >= points_.back().time_s,
+                   "TimeSeries samples must be appended in time order");
   points_.push_back(Point{.time_s = time_s, .value = value});
+  cumsum_.push_back((cumsum_.empty() ? 0.0 : cumsum_.back()) + value);
 }
 
 double TimeSeries::Last() const {
@@ -20,15 +26,40 @@ double TimeSeries::LastTime() const {
 }
 
 double TimeSeries::MeanOver(double from_s, double to_s) const {
-  double sum = 0.0;
-  size_t n = 0;
-  for (const auto& p : points_) {
-    if (p.time_s >= from_s && p.time_s <= to_s) {
-      sum += p.value;
-      ++n;
-    }
+  // Points are time-ordered (asserted on append): binary-search the window bounds and
+  // answer from the prefix sum instead of scanning.
+  auto time_less = [](const Point& p, double t) { return p.time_s < t; };
+  auto lo_it = std::lower_bound(points_.begin(), points_.end(), from_s, time_less);
+  auto hi_it = std::lower_bound(points_.begin(), points_.end(),
+                                std::nextafter(to_s, 1e308), time_less);
+  size_t lo = static_cast<size_t>(lo_it - points_.begin());
+  size_t hi = static_cast<size_t>(hi_it - points_.begin());  // one past the last in-window
+  if (lo >= hi) {
+    return 0.0;
   }
-  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  double sum = cumsum_[hi - 1] - (lo > 0 ? cumsum_[lo - 1] : 0.0);
+  return sum / static_cast<double>(hi - lo);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CAPSYS_CHECK_MSG(bounds_[i] > bounds_[i - 1],
+                     "histogram bucket bounds must be strictly increasing");
+  }
+  bucket_counts_.assign(bounds_.size() + 1, 0);  // + the implicit +Inf bucket
+}
+
+void Histogram::Observe(double value) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++bucket_counts_[static_cast<size_t>(it - bounds_.begin())];
+  sum_ += value;
+  samples_.Add(value);
+}
+
+std::vector<double> Histogram::DefaultBuckets() {
+  // 1us..30s, roughly x3 per step.
+  return {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+          3e-2, 0.1,  0.3,  1.0,  3.0,  10.0, 30.0};
 }
 
 void MetricsRegistry::Record(const std::string& name, double time_s, double value) {
@@ -40,6 +71,30 @@ TimeSeries& MetricsRegistry::Series(const std::string& name) { return series_[na
 const TimeSeries* MetricsRegistry::Find(const std::string& name) const {
   auto it = series_.find(name);
   return it != series_.end() ? &it->second : nullptr;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) { return counters_[name]; }
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it != counters_.end() ? &it->second : nullptr;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, Histogram(upper_bounds.empty() ? Histogram::DefaultBuckets()
+                                                           : std::move(upper_bounds)))
+             .first;
+  }
+  return it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
 }
 
 double MetricsRegistry::LastOr(const std::string& name, double fallback) const {
@@ -66,7 +121,29 @@ std::vector<std::string> MetricsRegistry::Names() const {
   return names;
 }
 
-void MetricsRegistry::Clear() { series_.clear(); }
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void MetricsRegistry::Clear() {
+  series_.clear();
+  counters_.clear();
+  histograms_.clear();
+}
 
 std::string TaskMetric(int task_id, const std::string& metric) {
   return Sprintf("task.%d.%s", task_id, metric.c_str());

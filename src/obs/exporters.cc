@@ -1,0 +1,254 @@
+#include "src/obs/exporters.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "src/common/str.h"
+#include "src/obs/events.h"
+#include "src/obs/json_util.h"
+
+namespace capsys {
+namespace {
+
+std::string Sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+// Splits a "scope.id.metric" convention name into a Prometheus family name and a label;
+// names outside the convention become label-less sanitized families.
+struct PromName {
+  std::string family;
+  std::string labels;  // "" or `{scope="id"}` content without braces
+};
+
+PromName ToPromName(const std::string& name) {
+  size_t first = name.find('.');
+  size_t second = first == std::string::npos ? std::string::npos : name.find('.', first + 1);
+  if (second != std::string::npos) {
+    std::string scope = name.substr(0, first);
+    std::string id = name.substr(first + 1, second - first - 1);
+    std::string metric = name.substr(second + 1);
+    if (scope == "task" || scope == "worker" || scope == "op" || scope == "query" ||
+        scope == "chaos" || scope == "sim") {
+      return PromName{Sprintf("capsys_%s_%s", Sanitize(scope).c_str(),
+                              Sanitize(metric).c_str()),
+                      Sprintf("%s=\"%s\"", Sanitize(scope).c_str(), JsonEscape(id).c_str())};
+    }
+  }
+  return PromName{"capsys_" + Sanitize(name), ""};
+}
+
+std::string Sample(const PromName& n, const std::string& suffix, const std::string& extra_label,
+                   const std::string& value) {
+  std::string labels = n.labels;
+  if (!extra_label.empty()) {
+    labels += labels.empty() ? extra_label : ("," + extra_label);
+  }
+  if (labels.empty()) {
+    return Sprintf("%s%s %s\n", n.family.c_str(), suffix.c_str(), value.c_str());
+  }
+  return Sprintf("%s%s{%s} %s\n", n.family.c_str(), suffix.c_str(), labels.c_str(),
+                 value.c_str());
+}
+
+std::string FormatValue(double v) { return Sprintf("%.10g", v); }
+
+}  // namespace
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  // Group samples by family so each family gets exactly one # TYPE header.
+  struct Family {
+    std::string type;
+    std::vector<std::string> samples;
+  };
+  std::map<std::string, Family> families;
+
+  for (const std::string& name : registry.Names()) {
+    const TimeSeries* ts = registry.Find(name);
+    if (ts == nullptr || ts->Empty()) {
+      continue;
+    }
+    PromName n = ToPromName(name);
+    Family& fam = families[n.family];
+    fam.type = "gauge";
+    fam.samples.push_back(Sample(n, "", "", FormatValue(ts->Last())));
+  }
+  for (const std::string& name : registry.CounterNames()) {
+    const Counter* c = registry.FindCounter(name);
+    PromName n = ToPromName(name);
+    n.family += "_total";
+    Family& fam = families[n.family];
+    fam.type = "counter";
+    fam.samples.push_back(
+        Sample(n, "", "", Sprintf("%llu", static_cast<unsigned long long>(c->Value()))));
+  }
+  for (const std::string& name : registry.HistogramNames()) {
+    const Histogram* h = registry.FindHistogram(name);
+    PromName n = ToPromName(name);
+    Family& fam = families[n.family];
+    fam.type = "histogram";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += h->bucket_counts()[i];
+      fam.samples.push_back(
+          Sample(n, "_bucket", Sprintf("le=\"%.10g\"", h->bounds()[i]),
+                 Sprintf("%llu", static_cast<unsigned long long>(cumulative))));
+    }
+    fam.samples.push_back(
+        Sample(n, "_bucket", "le=\"+Inf\"",
+               Sprintf("%llu", static_cast<unsigned long long>(h->Count()))));
+    fam.samples.push_back(Sample(n, "_sum", "", FormatValue(h->Sum())));
+    fam.samples.push_back(
+        Sample(n, "_count", "", Sprintf("%llu", static_cast<unsigned long long>(h->Count()))));
+  }
+
+  std::string out;
+  for (const auto& [family, fam] : families) {
+    out += Sprintf("# TYPE %s %s\n", family.c_str(), fam.type.c_str());
+    for (const std::string& s : fam.samples) {
+      out += s;
+    }
+  }
+  return out;
+}
+
+std::string MetricsJson(const MetricsRegistry& registry) {
+  std::string out = "{\n  \"series\": {\n";
+  bool first = true;
+  for (const std::string& name : registry.Names()) {
+    const TimeSeries* ts = registry.Find(name);
+    if (ts == nullptr) {
+      continue;
+    }
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += Sprintf("    \"%s\": [", JsonEscape(name).c_str());
+    for (size_t i = 0; i < ts->points().size(); ++i) {
+      const auto& p = ts->points()[i];
+      out += Sprintf("%s[%s,%s]", i > 0 ? "," : "", JsonNumber(p.time_s).c_str(),
+                     JsonNumber(p.value).c_str());
+    }
+    out += "]";
+  }
+  out += "\n  },\n  \"counters\": {\n";
+  first = true;
+  for (const std::string& name : registry.CounterNames()) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += Sprintf("    \"%s\": %llu", JsonEscape(name).c_str(),
+                   static_cast<unsigned long long>(registry.FindCounter(name)->Value()));
+  }
+  out += "\n  },\n  \"histograms\": {\n";
+  first = true;
+  for (const std::string& name : registry.HistogramNames()) {
+    const Histogram* h = registry.FindHistogram(name);
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += Sprintf("    \"%s\": {\"count\":%llu,\"sum\":%s", JsonEscape(name).c_str(),
+                   static_cast<unsigned long long>(h->Count()),
+                   JsonNumber(h->Sum()).c_str());
+    if (h->Count() > 0) {
+      out += Sprintf(",\"p50\":%s,\"p95\":%s,\"p99\":%s",
+                     JsonNumber(h->Percentile(50)).c_str(),
+                     JsonNumber(h->Percentile(95)).c_str(),
+                     JsonNumber(h->Percentile(99)).c_str());
+    }
+    out += ",\"bounds\":[";
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      out += Sprintf("%s%s", i > 0 ? "," : "", JsonNumber(h->bounds()[i]).c_str());
+    }
+    out += "],\"buckets\":[";
+    for (size_t i = 0; i < h->bucket_counts().size(); ++i) {
+      out += Sprintf("%s%llu", i > 0 ? "," : "",
+                     static_cast<unsigned long long>(h->bucket_counts()[i]));
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += Sprintf("\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,"
+                   "\"dur\":%s,\"args\":{\"span_id\":%llu,\"parent_id\":%llu",
+                   JsonEscape(s.name).c_str(), s.tid, JsonNumber(s.start_us).c_str(),
+                   JsonNumber(s.dur_us).c_str(), static_cast<unsigned long long>(s.id),
+                   static_cast<unsigned long long>(s.parent));
+    for (const auto& [key, value] : s.attrs) {
+      out += Sprintf(",\"%s\":", JsonEscape(key).c_str());
+      if (IsJsonNumber(value)) {
+        out += value;
+      } else {
+        out += Sprintf("\"%s\"", JsonEscape(value).c_str());
+      }
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& content, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  bool ok = content.empty() || std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok && error != nullptr) {
+    *error = "short write to " + path;
+  }
+  return ok;
+}
+
+}  // namespace
+
+bool WriteTelemetryBundle(const std::string& dir, const MetricsRegistry* registry,
+                          std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create " + dir + ": " + ec.message();
+    }
+    return false;
+  }
+  if (registry != nullptr) {
+    if (!WriteFile(dir + "/metrics.prom", PrometheusText(*registry), error) ||
+        !WriteFile(dir + "/metrics.json", MetricsJson(*registry), error)) {
+      return false;
+    }
+  }
+  return WriteFile(dir + "/trace.json", ChromeTraceJson(Tracer::Global().Snapshot()), error) &&
+         WriteFile(dir + "/events.jsonl", EventLog::Global().ToJsonLines(), error);
+}
+
+}  // namespace capsys

@@ -1,0 +1,73 @@
+#include "src/obs/json_util.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/str.h"
+
+namespace capsys {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += Sprintf("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool IsJsonNumber(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end != begin + s.size()) {
+    return false;
+  }
+  if (!std::isfinite(v)) {
+    return false;
+  }
+  // JSON forbids leading '+', leading '.', and hex literals; strtod accepts them.
+  char first = s[0] == '-' ? (s.size() > 1 ? s[1] : '\0') : s[0];
+  if (first < '0' || first > '9') {
+    return false;
+  }
+  if (s.find('x') != std::string::npos || s.find('X') != std::string::npos) {
+    return false;
+  }
+  return true;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  std::string s = Sprintf("%.17g", v);
+  return IsJsonNumber(s) ? s : "null";
+}
+
+}  // namespace capsys

@@ -1,0 +1,20 @@
+// Minimal JSON encoding helpers shared by the event log and the exporters.
+#ifndef SRC_OBS_JSON_UTIL_H_
+#define SRC_OBS_JSON_UTIL_H_
+
+#include <string>
+
+namespace capsys {
+
+// Returns `s` with JSON string escaping applied (quotes, backslash, control chars).
+std::string JsonEscape(const std::string& s);
+
+// True when `s` is a complete JSON-legal number literal (no inf/nan, no trailing junk).
+bool IsJsonNumber(const std::string& s);
+
+// Encodes a double as a JSON value ("null" for non-finite values).
+std::string JsonNumber(double v);
+
+}  // namespace capsys
+
+#endif  // SRC_OBS_JSON_UTIL_H_

@@ -1,0 +1,111 @@
+#include "src/obs/trace.h"
+
+#include "src/common/str.h"
+
+namespace capsys {
+namespace {
+
+// Per-thread stack of open span ids; the top is the parent of the next span opened here.
+thread_local std::vector<uint64_t> tls_span_stack;
+thread_local int tls_tid = -1;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+double Tracer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Tracer::ThisThreadTid() {
+  if (tls_tid < 0) {
+    tls_tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_tid;
+}
+
+void Tracer::Submit(SpanRecord&& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+Span::Span(const char* name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) {
+    return;
+  }
+  active_ = true;
+  rec_.id = tracer.NextId();
+  rec_.parent = tls_span_stack.empty() ? 0 : tls_span_stack.back();
+  rec_.name = name;
+  rec_.tid = tracer.ThisThreadTid();
+  rec_.start_us = tracer.NowUs();
+  tls_span_stack.push_back(rec_.id);
+}
+
+Span::~Span() {
+  if (!active_) {
+    return;
+  }
+  Tracer& tracer = Tracer::Global();
+  rec_.dur_us = tracer.NowUs() - rec_.start_us;
+  // The stack is strictly LIFO per thread because spans are scoped objects.
+  if (!tls_span_stack.empty() && tls_span_stack.back() == rec_.id) {
+    tls_span_stack.pop_back();
+  }
+  tracer.Submit(std::move(rec_));
+}
+
+void Span::AddAttr(const char* key, const std::string& value) {
+  if (active_) {
+    rec_.attrs.emplace_back(key, value);
+  }
+}
+
+void Span::AddAttr(const char* key, const char* value) {
+  if (active_) {
+    rec_.attrs.emplace_back(key, value);
+  }
+}
+
+void Span::AddAttr(const char* key, double value) {
+  if (active_) {
+    rec_.attrs.emplace_back(key, Humanize(value, 6));
+  }
+}
+
+void Span::AddAttr(const char* key, uint64_t value) {
+  if (active_) {
+    rec_.attrs.emplace_back(key, Sprintf("%llu", static_cast<unsigned long long>(value)));
+  }
+}
+
+void Span::AddAttr(const char* key, int value) {
+  if (active_) {
+    rec_.attrs.emplace_back(key, Sprintf("%d", value));
+  }
+}
+
+}  // namespace capsys

@@ -5,6 +5,8 @@
 
 #include "src/common/logging.h"
 #include "src/common/str.h"
+#include "src/obs/events.h"
+#include "src/obs/trace.h"
 
 namespace capsys {
 namespace {
@@ -362,6 +364,25 @@ void FluidSimulator::FlushMetrics() {
     return;  // nothing accumulated since the last flush (e.g. double flush)
   }
   last_flush_s_ = time_s_;
+  metrics_.GetCounter("sim.0.flushes").Add();
+  if (pending_dropouts_ > 0) {
+    metrics_.GetCounter("sim.0.metric_dropouts").Add(pending_dropouts_);
+    pending_dropouts_ = 0;
+  }
+  // Backpressure episode tracking: one onset event when the mean source backpressure
+  // crosses the threshold, one cleared event when it drops back below.
+  {
+    double bp = total_backpressure_.count > 0 ? total_backpressure_.sum /
+                                                    total_backpressure_.count
+                                              : 0.0;
+    bool above = bp >= config_.backpressure_onset_threshold;
+    if (above && !backpressure_episode_) {
+      EmitBackpressureOnset(telemetry_offset_s_ + time_s_, bp);
+    } else if (!above && backpressure_episode_) {
+      EmitBackpressureCleared(telemetry_offset_s_ + time_s_, bp);
+    }
+    backpressure_episode_ = above;
+  }
   for (size_t i = 0; i < task_true_rate_.size(); ++i) {
     metrics_.Record(TaskMetric(static_cast<int>(i), "true_rate"), time_s_,
                     task_true_rate_[i].MeanAndReset());
@@ -407,7 +428,14 @@ void FluidSimulator::FlushMetrics() {
 }
 
 void FluidSimulator::RunFor(double seconds) {
+  Span span("sim.run_for");
   int steps = static_cast<int>(std::llround(seconds / config_.tick_s));
+  if (span.active()) {
+    span.AddAttr("seconds", seconds);
+    span.AddAttr("ticks", steps);
+    span.AddAttr("sim_time_s", time_s_);
+  }
+  metrics_.GetCounter("sim.0.ticks").Add(static_cast<uint64_t>(std::max(steps, 0)));
   for (int i = 0; i < steps; ++i) {
     Step();
   }
@@ -451,17 +479,26 @@ QuerySummary FluidSimulator::Summarize(double from_s, double to_s) const {
   return s;
 }
 
-double FluidSimulator::CorruptedMean(const TimeSeries* ts, double from_s, double to_s) const {
+double FluidSimulator::CorruptedMean(const std::string& name, const TimeSeries* ts,
+                                     double from_s, double to_s) const {
   if (ts == nullptr) {
     return 0.0;
   }
   if (!corruption_.Active()) {
     return ts->MeanOver(from_s, to_s);
   }
+  // Corrupted reads used to degrade silently; the structured events below put every
+  // dropped/shifted window on the audit trail of what the controller actually saw.
+  double event_t = telemetry_offset_s_ + time_s_;
   double shift = corruption_.staleness_s;
+  if (shift > 0.0) {
+    EmitMetricStale(event_t, name, shift);
+  }
   if (corruption_.dropout_p > 0.0 && corruption_rng_.Bernoulli(corruption_.dropout_p)) {
     // The fresh window was lost; the read falls back to the previous flush interval.
     shift += config_.metrics_interval_s;
+    ++pending_dropouts_;  // registry counter updated at the next flush (this path is const)
+    EmitMetricDropout(event_t, name, shift);
   }
   double v = ts->MeanOver(from_s - shift, to_s - shift);
   if (corruption_.noise_frac > 0.0) {
@@ -471,28 +508,33 @@ double FluidSimulator::CorruptedMean(const TimeSeries* ts, double from_s, double
 }
 
 double FluidSimulator::OperatorEmitRate(OperatorId op, double from_s, double to_s) const {
-  return CorruptedMean(metrics_.Find(OperatorMetric(op, "emit_rate")), from_s, to_s);
+  std::string name = OperatorMetric(op, "emit_rate");
+  return CorruptedMean(name, metrics_.Find(name), from_s, to_s);
 }
 
 double FluidSimulator::OperatorBackpressure(OperatorId op, double from_s, double to_s) const {
-  return CorruptedMean(metrics_.Find(OperatorMetric(op, "backpressure")), from_s, to_s);
+  std::string name = OperatorMetric(op, "backpressure");
+  return CorruptedMean(name, metrics_.Find(name), from_s, to_s);
 }
 
 double FluidSimulator::OperatorInputRate(OperatorId op, double from_s, double to_s) const {
-  return CorruptedMean(metrics_.Find(OperatorMetric(op, "in_rate")), from_s, to_s);
+  std::string name = OperatorMetric(op, "in_rate");
+  return CorruptedMean(name, metrics_.Find(name), from_s, to_s);
 }
 
 double FluidSimulator::OperatorOutputRate(OperatorId op, double from_s, double to_s) const {
-  return CorruptedMean(metrics_.Find(OperatorMetric(op, "out_rate")), from_s, to_s);
+  std::string name = OperatorMetric(op, "out_rate");
+  return CorruptedMean(name, metrics_.Find(name), from_s, to_s);
 }
 
 double FluidSimulator::OperatorTrueRatePerTask(OperatorId op, double from_s, double to_s) const {
   double sum = 0.0;
   int n = 0;
   for (TaskId t : graph_.TasksOf(op)) {
-    const TimeSeries* ts = metrics_.Find(TaskMetric(t, "true_rate"));
+    std::string name = TaskMetric(t, "true_rate");
+    const TimeSeries* ts = metrics_.Find(name);
     if (ts != nullptr) {
-      sum += CorruptedMean(ts, from_s, to_s);
+      sum += CorruptedMean(name, ts, from_s, to_s);
       ++n;
     }
   }

@@ -45,6 +45,9 @@ struct SimConfig {
   double min_queue_records = 64.0;
   // Interval at which metrics are flushed into the registry (paper records every 5 s).
   double metrics_interval_s = 5.0;
+  // Mean source backpressure at flush time at/above which a BackpressureOnset event is
+  // emitted (and below which a following BackpressureCleared is).
+  double backpressure_onset_threshold = 0.5;
   ContentionParams contention;
 };
 
@@ -92,6 +95,11 @@ class FluidSimulator {
   void Step();
   void RunFor(double seconds);
 
+  // Offset added to this simulator's local clock when stamping telemetry (structured
+  // events): a driver that replaces the runtime mid-run keeps event timestamps on its own
+  // global timeline by passing global_time - local_time here.
+  void SetTelemetryTimeOffset(double offset_s) { telemetry_offset_s_ = offset_s; }
+
   // Convenience: runs `warmup_s` unmeasured, then `measure_s`, and summarizes the
   // measurement window.
   QuerySummary RunMeasured(double warmup_s, double measure_s);
@@ -123,8 +131,11 @@ class FluidSimulator {
  private:
   void RebuildStatics();
   void FlushMetrics();
-  // Applies the active metric corruption to a controller-facing windowed read of `series`.
-  double CorruptedMean(const TimeSeries* ts, double from_s, double to_s) const;
+  // Applies the active metric corruption to a controller-facing windowed read of the named
+  // series, emitting MetricDropout/MetricStale events so chaos runs can audit what the
+  // controller actually saw.
+  double CorruptedMean(const std::string& name, const TimeSeries* ts, double from_s,
+                       double to_s) const;
 
   PhysicalGraph graph_;
   Cluster cluster_;
@@ -143,6 +154,7 @@ class FluidSimulator {
   std::vector<double> degrade_;         // per worker capacity factor, 1.0 = healthy
   MetricCorruption corruption_;
   mutable Rng corruption_rng_{0};       // consumed only while corruption is active
+  mutable uint64_t pending_dropouts_ = 0;  // dropouts hit since the last flush
 
   // Per-task static routing info.
   std::vector<std::vector<TaskId>> down_tasks_;  // distinct downstream tasks (via channels)
@@ -191,6 +203,8 @@ class FluidSimulator {
   Accum latency_;
   Accum sink_rate_;
   double last_flush_s_ = 0.0;
+  double telemetry_offset_s_ = 0.0;
+  bool backpressure_episode_ = false;  // currently above the onset threshold
 };
 
 }  // namespace capsys
