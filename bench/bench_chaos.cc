@@ -91,13 +91,23 @@ int Main() {
                 run.mttr_s >= 0 ? Sprintf("%.0fs", run.mttr_s).c_str() : "-",
                 Sprintf("%.0fs", run.longest_outage_s).c_str(), run.throughput_loss / 1e6,
                 run.mean_throughput, RecoveryOutcomeName(run.last_outcome), run.final_slots);
+    // Checkpoint & restore accounting; the per-reconfiguration replayed-record counts are
+    // in the bundle as the chaos.0.replayed_records series.
+    std::printf("           checkpoints %d ok / %d failed / %d expired; replayed=%.0f "
+                "dupes=%.0f lost=%.0f blackout=%.1fs\n",
+                run.checkpoints_completed, run.checkpoints_failed, run.checkpoints_expired,
+                run.replayed_records, run.duplicate_records, run.lost_records,
+                run.restore_downtime_s);
   }
   std::printf(
       "\nexpected: the straggler and the dropout episode cause no deaths (false+ = 0 with\n"
       "the default suspicion settings); the flapping worker is blacklisted after two\n"
       "deaths; the triple crash forces a degraded down-scale and the controller\n"
-      "re-upscales once the workers return. The contention-aware policy absorbs each\n"
-      "re-placement with less residual throughput loss than the Flink baselines.\n");
+      "re-upscales once the workers return. Blackouts are replay-aware: each\n"
+      "reconfiguration restores the last completed checkpoint and replays from its\n"
+      "barrier (zero lost / zero duplicate records under exactly-once), so recovery cost\n"
+      "tracks barrier phase and placement concentration; the packing-blind default\n"
+      "policy loses the most throughput by a wide margin.\n");
   return 0;
 }
 

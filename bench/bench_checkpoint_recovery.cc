@@ -1,0 +1,76 @@
+// Robustness extension bench: recovery latency vs. checkpoint interval. Replays one seeded
+// single-crash schedule against the chaos controller while sweeping the checkpoint interval
+// and the state growth model, and reports how the blackout decomposes into restore + replay
+// under exactly-once delivery. The trade-off the sweep exposes is the classic one:
+//   - short intervals -> small replay backlog (fast recovery) but frequent snapshot uploads
+//     stealing disk bandwidth from processing;
+//   - long intervals -> cheap steady state but a long replay after a failure;
+//   - larger state -> longer restore phase at every interval.
+// MTTR, loss integral, replayed records, and blackout must all grow monotonically with the
+// interval for a fixed state size, and with state size for a fixed interval (restore term).
+#include <cstdio>
+
+#include "src/common/str.h"
+#include "src/controller/chaos_experiments.h"
+#include "src/nexmark/queries.h"
+
+namespace capsys {
+namespace {
+
+int Main() {
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+
+  // One crash, never restored: exactly one recovery per run, so the per-run numbers
+  // isolate the checkpoint interval's effect on that single blackout. The crash lands at
+  // t=239 s — one tick before a barrier for every interval in the sweep (239 mod
+  // {5,15,30,60,120} = {4,14,29,59,119}), so the replay gap grows strictly with the
+  // interval instead of aliasing against the barrier phase.
+  FaultSchedule schedule;
+  schedule.Crash(239.0, 1);
+
+  StateGrowthModel small;
+  small.bytes_per_record = 64.0;
+  StateGrowthModel large;
+  large.bytes_per_record = 64.0 * 16;
+
+  std::printf("=== Recovery latency vs. checkpoint interval (Q1-sliding, crash at 239 s, "
+              "exactly-once) ===\n\n");
+  std::printf("%-7s %-9s %-6s %-9s %-10s %-10s %-10s %s\n", "state", "interval", "ckpts",
+              "mttr", "loss(Mrec)", "replayed", "blackout", "recoveries");
+  for (const auto& [state_name, state] :
+       {std::pair<const char*, StateGrowthModel>{"small", small}, {"large", large}}) {
+    for (double interval_s : {5.0, 15.0, 30.0, 60.0, 120.0}) {
+      ChaosExperimentOptions options;
+      options.policy = PlacementPolicy::kFlinkEvenly;  // cheap, deterministic re-placement
+      options.run_s = 420.0;
+      options.seed = 7;
+      options.use_checkpointing = true;
+      options.exactly_once = true;
+      options.checkpoint.interval_s = interval_s;
+      options.checkpoint.min_pause_s = 1.0;
+      options.state = state;
+      ChaosRun run = RunChaosExperiment(q, cluster, schedule, options);
+      const TimeSeries* replayed = run.telemetry.Find("chaos.0.replayed_records");
+      std::printf("%-7s %-9s %-6d %-9s %-10.2f %-10.0f %-10s %zu\n", state_name,
+                  Sprintf("%.0fs", interval_s).c_str(), run.checkpoints_completed,
+                  run.mttr_s >= 0 ? Sprintf("%.0fs", run.mttr_s).c_str() : "-",
+                  run.throughput_loss / 1e6, run.replayed_records,
+                  Sprintf("%.1fs", run.restore_downtime_s).c_str(),
+                  replayed != nullptr ? replayed->points().size() : 0u);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected: for each state size, replayed records, blackout, MTTR, and the loss\n"
+      "integral grow monotonically with the checkpoint interval (a longer gap since the\n"
+      "last barrier means a longer replay); for each interval, the large state pays a\n"
+      "longer restore phase than the small one. The 5 s interval additionally shows the\n"
+      "steady-state cost of checkpointing: snapshot uploads contend with processing I/O.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace capsys
+
+int main() { return capsys::Main(); }

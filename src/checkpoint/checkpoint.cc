@@ -1,0 +1,161 @@
+#include "src/checkpoint/checkpoint.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/str.h"
+#include "src/obs/events.h"
+
+namespace capsys {
+
+const char* CheckpointStateName(CheckpointState state) {
+  switch (state) {
+    case CheckpointState::kInProgress:
+      return "in_progress";
+    case CheckpointState::kCompleted:
+      return "completed";
+    case CheckpointState::kFailed:
+      return "failed";
+    case CheckpointState::kExpired:
+      return "expired";
+  }
+  return "?";
+}
+
+std::string CheckpointRecord::ToString() const {
+  return Sprintf("ckpt#%llu t=%.1f..%.1f %s full=%llu delta=%llu pos=%.0f%s%s",
+                 static_cast<unsigned long long>(id), trigger_time_s, end_time_s,
+                 CheckpointStateName(state), static_cast<unsigned long long>(full_bytes),
+                 static_cast<unsigned long long>(delta_bytes), source_records,
+                 failure_reason.empty() ? "" : " reason=", failure_reason.c_str());
+}
+
+CheckpointCoordinator::CheckpointCoordinator(CheckpointOptions options, StateGrowthModel model,
+                                             MetricsRegistry* telemetry)
+    : options_(options), model_(model), telemetry_(telemetry),
+      next_trigger_s_(options.interval_s) {
+  CAPSYS_CHECK(options_.interval_s > 0.0);
+  CAPSYS_CHECK(options_.timeout_s > 0.0);
+  CAPSYS_CHECK(options_.retained >= 1);
+  CAPSYS_CHECK(options_.write_bandwidth_bps > 0.0);
+}
+
+double CheckpointCoordinator::InFlightIoBps() const {
+  if (!in_flight_) {
+    return 0.0;
+  }
+  double upload_s = current_end_s_ - current_.trigger_time_s - options_.alignment_s;
+  if (upload_s <= 1e-9) {
+    return 0.0;
+  }
+  // A doomed-to-expire upload runs at the configured bandwidth until the timeout truncates
+  // it; it never transfers faster than the backend allows.
+  return std::min(static_cast<double>(current_.delta_bytes) / upload_s,
+                  options_.write_bandwidth_bps);
+}
+
+const CheckpointRecord* CheckpointCoordinator::LastCompleted() const {
+  return retained_.empty() ? nullptr : &retained_.back();
+}
+
+void CheckpointCoordinator::AdvanceTo(double now, double source_records) {
+  CAPSYS_CHECK_MSG(now + 1e-9 >= now_, "coordinator time must not go backwards");
+  now_ = std::max(now_, now);
+
+  // Complete / expire the in-flight checkpoint once its end time passes.
+  if (in_flight_ && now_ + 1e-9 >= current_end_s_) {
+    if (force_fail_) {
+      Finish(CheckpointState::kFailed, current_end_s_, "failure_storm");
+    } else if (current_end_s_ - current_.trigger_time_s + 1e-9 >= options_.timeout_s) {
+      Finish(CheckpointState::kExpired, current_.trigger_time_s + options_.timeout_s, "");
+    } else {
+      Finish(CheckpointState::kCompleted, current_end_s_, "");
+    }
+  }
+
+  if (in_flight_ || now_ + 1e-9 < next_trigger_s_) {
+    return;
+  }
+
+  // Trigger: the barrier captures the source position and the state size right now.
+  current_ = CheckpointRecord{};
+  current_.id = next_id_++;
+  current_.trigger_time_s = now_;
+  current_.state = CheckpointState::kInProgress;
+  current_.source_records = source_records;
+  current_.full_bytes = model_.BytesAt(source_records);
+  const CheckpointRecord* prev = LastCompleted();
+  if (options_.incremental && prev != nullptr) {
+    double delta = model_.bytes_per_record * (source_records - prev->source_records);
+    current_.delta_bytes = std::min(
+        current_.full_bytes, static_cast<uint64_t>(std::max(0.0, delta)));
+  } else {
+    current_.delta_bytes = current_.full_bytes;
+  }
+  double duration = options_.alignment_s +
+                    static_cast<double>(current_.delta_bytes) / options_.write_bandwidth_bps;
+  current_end_s_ = current_.trigger_time_s + std::min(duration, options_.timeout_s);
+  in_flight_ = true;
+  ++triggered_;
+  EmitCheckpointStarted(now_, current_.id, current_.full_bytes, current_.delta_bytes);
+}
+
+void CheckpointCoordinator::FailInFlight(double now, const std::string& reason) {
+  if (!in_flight_) {
+    return;
+  }
+  Finish(CheckpointState::kFailed, std::max(now, current_.trigger_time_s), reason);
+}
+
+void CheckpointCoordinator::Finish(CheckpointState state, double at,
+                                   const std::string& reason) {
+  current_.state = state;
+  current_.end_time_s = at;
+  current_.failure_reason = reason;
+  double duration = current_.end_time_s - current_.trigger_time_s;
+  switch (state) {
+    case CheckpointState::kCompleted:
+      ++completed_;
+      retained_.push_back(current_);
+      while (static_cast<int>(retained_.size()) > options_.retained) {
+        retained_.pop_front();  // oldest checkpoints age out of the retention window
+      }
+      EmitCheckpointCompleted(current_.end_time_s, current_.id, duration,
+                              current_.delta_bytes);
+      if (telemetry_ != nullptr) {
+        telemetry_->GetCounter("checkpoint.0.completed").Add();
+        telemetry_->GetHistogram("checkpoint.0.duration_s").Observe(duration);
+        telemetry_->GetHistogram("checkpoint.0.delta_bytes")
+            .Observe(static_cast<double>(current_.delta_bytes));
+      }
+      break;
+    case CheckpointState::kFailed:
+      ++failed_;
+      EmitCheckpointFailed(current_.end_time_s, current_.id, reason);
+      if (telemetry_ != nullptr) {
+        telemetry_->GetCounter("checkpoint.0.failed").Add();
+      }
+      break;
+    case CheckpointState::kExpired:
+      ++expired_;
+      EmitCheckpointExpired(current_.end_time_s, current_.id, options_.timeout_s);
+      if (telemetry_ != nullptr) {
+        telemetry_->GetCounter("checkpoint.0.expired").Add();
+      }
+      break;
+    case CheckpointState::kInProgress:
+      CAPSYS_CHECK_MSG(false, "cannot finish a checkpoint as in_progress");
+  }
+  history_.push_back(current_);
+  in_flight_ = false;
+  next_trigger_s_ = std::max(current_.trigger_time_s + options_.interval_s,
+                             current_.end_time_s + options_.min_pause_s);
+}
+
+std::string CheckpointCoordinator::ToString() const {
+  return Sprintf("checkpoints: triggered=%d completed=%d failed=%d expired=%d retained=%zu%s",
+                 triggered_, completed_, failed_, expired_, retained_.size(),
+                 in_flight_ ? " (one in flight)" : "");
+}
+
+}  // namespace capsys

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <set>
 
 #include "src/common/logging.h"
 #include "src/common/str.h"
@@ -16,10 +17,13 @@ namespace capsys {
 std::string ChaosRun::ToString() const {
   return Sprintf(
       "reconfigs=%d deaths=%d false_pos=%d churn_retries=%d outages=%d (unrecovered %d) "
-      "mttr=%.1fs loss=%.0f mean_thr=%.0f last=%s slots=%d",
+      "mttr=%.1fs loss=%.0f mean_thr=%.0f last=%s slots=%d ckpt=%d/%d/%d/%d "
+      "(ok/fail/expired/total) replayed=%.0f dupes=%.0f lost=%.0f blackout=%.1fs",
       reconfigurations, deaths_declared, false_positives, replan_churn_retries, outages,
       unrecovered_outages, mttr_s, throughput_loss, mean_throughput,
-      RecoveryOutcomeName(last_outcome), final_slots);
+      RecoveryOutcomeName(last_outcome), final_slots, checkpoints_completed,
+      checkpoints_failed, checkpoints_expired, checkpoints_triggered, replayed_records,
+      duplicate_records, lost_records, restore_downtime_s);
 }
 
 ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
@@ -62,6 +66,17 @@ ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
   FaultInjector injector(schedule, cluster.num_workers(), options.seed, options.injector);
   FailureDetector detector(cluster.num_workers(), options.detector);
 
+  // Checkpoint coordinator: runs on the driver's global clock, sized by the state growth
+  // model. Null when checkpointing is disabled (fixed-blackout fallback).
+  std::unique_ptr<CheckpointCoordinator> coordinator;
+  if (options.use_checkpointing) {
+    coordinator = std::make_unique<CheckpointCoordinator>(options.checkpoint, options.state,
+                                                          &run.telemetry);
+  }
+  // Cumulative records emitted by the sources — the position checkpoint barriers capture
+  // and recovery rewinds to.
+  double cum_records = 0.0;
+
   double now = 0.0;            // global time
   double global_offset = 0.0;  // global time = offset + sim local time
   double next_sample = options.sample_interval_s;
@@ -73,13 +88,54 @@ ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
   // when capacity has returned since then.
   int plan_usable_workers = cluster.num_workers();
 
+  // Charges the in-flight snapshot upload against the disk bandwidth of every worker
+  // hosting the job, so checkpoint traffic contends with normal processing I/O (§3.3).
+  auto apply_checkpoint_io = [&](double total_bps) {
+    sim->ClearCheckpointIo();
+    if (total_bps <= 0.0) {
+      return;
+    }
+    std::set<WorkerId> hosts;
+    for (TaskId t = 0; t < physical.num_tasks(); ++t) {
+      hosts.insert(placement.WorkerOf(t));
+    }
+    double per_worker = total_bps / static_cast<double>(hosts.size());
+    for (WorkerId w : hosts) {
+      sim->SetWorkerCheckpointIoBps(w, per_worker);
+    }
+  };
+
   // Advances the world by one control interval: faults in, simulator on, heartbeats out,
-  // detector tick, timeline sample.
+  // detector tick, checkpoint lifecycle, timeline sample.
   auto step = [&]() {
     injector.AdvanceTo(now, sim.get());
+    if (coordinator != nullptr) {
+      apply_checkpoint_io(coordinator->InFlightIoBps());
+    }
     sim->RunFor(options.control_interval_s);
     now += options.control_interval_s;
     EventLog::Global().set_now(now);
+    {
+      double local = now - global_offset;
+      cum_records += sim->Summarize(std::max(0.0, local - options.control_interval_s), local)
+                         .throughput *
+                     options.control_interval_s;
+    }
+    if (coordinator != nullptr) {
+      coordinator->SetForceFail(injector.CheckpointsFailing());
+      if (coordinator->InFlight()) {
+        // Crash-mid-checkpoint: a participant died before acking its snapshot, so the
+        // attempt can never complete — recovery must fall back to the last *completed*
+        // checkpoint.
+        for (TaskId t = 0; t < physical.num_tasks(); ++t) {
+          if (injector.IsCrashed(placement.WorkerOf(t))) {
+            coordinator->FailInFlight(now, "participant_crash");
+            break;
+          }
+        }
+      }
+      coordinator->AdvanceTo(now, cum_records);
+    }
     for (WorkerId w : injector.CollectHeartbeats(now)) {
       detector.RecordHeartbeat(w, now);
     }
@@ -204,14 +260,41 @@ ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
     sim = std::make_unique<FluidSimulator>(physical, cluster, placement, sim_config);
     sim->SetTelemetryTimeOffset(global_offset);
     injector.ApplyCurrentState(sim.get());
-    if (options.reconfigure_downtime_s > 0.0) {
-      // Checkpoint-restore blackout: sources stay silent until the job is back up.
-      advance(options.reconfigure_downtime_s);
+
+    // --- Blackout: restore from the last completed checkpoint + source replay ----------
+    // (or the fixed reconfigure_downtime_s fallback when checkpointing is off / nothing
+    // has completed). Sources stay silent until the advance() below finishes, so the
+    // estimate's downtime shows up in the loss integral sample-by-sample.
+    if (coordinator != nullptr) {
+      coordinator->FailInFlight(now, "reconfiguration");
+    }
+    RecoveryModelOptions rm;
+    rm.fallback_downtime_s = options.reconfigure_downtime_s;
+    rm.exactly_once = options.exactly_once;
+    RecoveryEstimate est =
+        EstimateRecovery(coordinator.get(), now, cum_records,
+                         std::max(plan.sustainable_rate, 1.0),
+                         cluster.worker(0).spec.io_bandwidth_bps, rm);
+    run.replayed_records += est.replayed_records;
+    run.duplicate_records += est.duplicate_records;
+    run.lost_records += est.lost_records;
+    run.restore_downtime_s += est.downtime_s;
+    run.telemetry.Record("chaos.0.replayed_records", now, est.replayed_records);
+    run.telemetry.GetHistogram("chaos.0.restore_downtime_s").Observe(est.downtime_s);
+    if (coordinator != nullptr) {
+      EmitRestoreStarted(now, est.checkpoint_id, est.restored_bytes);
+    }
+    if (est.downtime_s > 0.0) {
+      advance(est.downtime_s);
+    }
+    if (coordinator != nullptr) {
+      EmitRestoreCompleted(now, est.checkpoint_id, est.downtime_s, est.replayed_records);
     }
     for (const auto& [op, r] : d.source_rates) {
       sim->SetSourceRate(op, r);
     }
-    CAPSYS_LOG_INFO("chaos", Sprintf("t=%.0f reconfigured: %s", now, plan.ToString().c_str()));
+    CAPSYS_LOG_INFO("chaos", Sprintf("t=%.0f reconfigured: %s (%s)", now,
+                                     plan.ToString().c_str(), est.ToString().c_str()));
   }
 
   // --- Outage accounting over the timeline --------------------------------------------------
@@ -250,6 +333,12 @@ ChaosRun RunChaosExperiment(const QuerySpec& query, const Cluster& cluster,
       run.timeline.empty() ? 0.0 : thr_sum / static_cast<double>(run.timeline.size());
   run.deaths_declared = detector.deaths_declared();
   run.final_slots = graph.total_parallelism();
+  if (coordinator != nullptr) {
+    run.checkpoints_triggered = coordinator->triggered();
+    run.checkpoints_completed = coordinator->completed();
+    run.checkpoints_failed = coordinator->failed();
+    run.checkpoints_expired = coordinator->expired();
+  }
   if (chaos_span.active()) {
     chaos_span.AddAttr("reconfigurations", run.reconfigurations);
     chaos_span.AddAttr("outages", run.outages);

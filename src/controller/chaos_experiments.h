@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
+#include "src/checkpoint/recovery_model.h"
 #include "src/controller/failure_detector.h"
 #include "src/controller/recovery.h"
 #include "src/controller/scaling_experiments.h"
@@ -31,8 +33,21 @@ struct ChaosExperimentOptions {
   // A sample counts as healthy when throughput >= target_fraction x the achievable target
   // (the nominal target, reduced while running a degraded plan).
   double target_fraction = 0.9;
-  // Checkpoint-restore blackout per reconfiguration, as in the scaling experiments.
+  // Fixed checkpoint-restore blackout per reconfiguration — the FALLBACK used only when
+  // `use_checkpointing` is off or no checkpoint has completed yet. With checkpointing on,
+  // the blackout comes from the recovery-time model instead (restore bytes / disk bandwidth
+  // + source replay from the last barrier).
   double reconfigure_downtime_s = 5.0;
+  // Aligned-snapshot checkpointing: a CheckpointCoordinator runs alongside the control
+  // loop, its in-flight uploads contend with the workers' disk bandwidth, and every
+  // reconfiguration restores from the last *completed* checkpoint.
+  bool use_checkpointing = true;
+  CheckpointOptions checkpoint;
+  StateGrowthModel state;
+  // Delivery guarantee for the recovery accounting: exactly-once replays the backlog
+  // inside the blackout (zero lost/duplicates); at-least-once resumes immediately and
+  // counts the replayed records as duplicates.
+  bool exactly_once = true;
   // Placement decision latency: the world keeps moving while the search runs, so a plan can
   // be stale by the time it is ready (churn).
   double replan_latency_s = 2.0;
@@ -75,6 +90,16 @@ struct ChaosRun {
 
   RecoveryOutcome last_outcome = RecoveryOutcome::kRecoveredFull;
   int final_slots = 0;
+
+  // Checkpoint & restore accounting (zeros when use_checkpointing is off).
+  int checkpoints_triggered = 0;
+  int checkpoints_completed = 0;
+  int checkpoints_failed = 0;
+  int checkpoints_expired = 0;
+  double replayed_records = 0.0;   // source backlog re-read across all recoveries
+  double duplicate_records = 0.0;  // at-least-once only: replayed records delivered twice
+  double lost_records = 0.0;       // nonzero only on fallback (no completed checkpoint)
+  double restore_downtime_s = 0.0;  // total reconfiguration blackout across the run
 
   // Driver-side telemetry on the global timeline: "chaos.0.*" gauges sampled with the
   // timeline, reconfiguration/verdict counters, and the replan-latency histogram. Exported

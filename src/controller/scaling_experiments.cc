@@ -120,6 +120,15 @@ ScalingRun RunScalingExperiment(const QuerySpec& query, const Cluster& cluster,
                                               options.sim);
   double global_offset = 0.0;  // global time = offset + sim->time_s()
 
+  // Optional checkpointing: replaces the fixed reconfiguration blackout with the
+  // recovery-time model. Off by default, which keeps the driver byte-compatible with the
+  // paper's fixed-downtime setup (EstimateRecovery falls back to reconfigure_downtime_s).
+  std::unique_ptr<CheckpointCoordinator> coordinator;
+  if (options.use_checkpointing) {
+    coordinator = std::make_unique<CheckpointCoordinator>(options.checkpoint, options.state);
+  }
+  double cum_records = 0.0;  // cumulative source position the barriers capture
+
   std::map<OperatorId, double> current_rates = step0_rates;
   auto apply_rates = [&](FluidSimulator& s) {
     for (const auto& [op, r] : current_rates) {
@@ -146,6 +155,10 @@ ScalingRun RunScalingExperiment(const QuerySpec& query, const Cluster& cluster,
                                            .target_rate = rate_steps[step],
                                            .throughput = last.throughput,
                                            .slots = graph.total_parallelism()});
+      cum_records += last.throughput * options.policy_interval_s;
+      if (coordinator != nullptr) {
+        coordinator->AdvanceTo(now_global, cum_records);
+      }
 
       // DS2 evaluation: only after the activation time has elapsed since the last
       // reconfiguration, so the controller sees stabilized metrics.
@@ -184,10 +197,23 @@ ScalingRun RunScalingExperiment(const QuerySpec& query, const Cluster& cluster,
       global_offset += sim->time_s();
       sim = std::make_unique<FluidSimulator>(PhysicalGraph::Expand(graph), cluster, placement,
                                              options.sim);
-      if (options.reconfigure_downtime_s > 0.0) {
-        // Checkpoint-restore blackout: no records flow until the job is back up.
-        sim->RunFor(options.reconfigure_downtime_s);
-        elapsed_in_step += options.reconfigure_downtime_s;
+      // Checkpoint-restore blackout: no records flow until the job is back up. The
+      // duration comes from the recovery-time model — with checkpointing off (the
+      // default) it degenerates to the fixed reconfigure_downtime_s fallback.
+      if (coordinator != nullptr) {
+        coordinator->FailInFlight(now_global, "reconfiguration");
+      }
+      RecoveryModelOptions rm;
+      rm.fallback_downtime_s = options.reconfigure_downtime_s;
+      rm.exactly_once = options.exactly_once;
+      RecoveryEstimate est =
+          EstimateRecovery(coordinator.get(), now_global, cum_records,
+                           std::max(rate_steps[step], 1.0), spec.io_bandwidth_bps, rm);
+      run.restore_downtime_s += est.downtime_s;
+      run.replayed_records += est.replayed_records;
+      if (est.downtime_s > 0.0) {
+        sim->RunFor(est.downtime_s);
+        elapsed_in_step += est.downtime_s;
       }
       apply_rates(*sim);
     }
@@ -214,6 +240,9 @@ ScalingRun RunScalingExperiment(const QuerySpec& query, const Cluster& cluster,
     eval.scaling_decisions = decisions_this_step;
     run.steps.push_back(eval);
     (void)step_start_global;
+  }
+  if (coordinator != nullptr) {
+    run.checkpoints_completed = coordinator->completed();
   }
   return run;
 }

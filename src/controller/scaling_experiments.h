@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/checkpoint/checkpoint.h"
+#include "src/checkpoint/recovery_model.h"
 #include "src/controller/deployment.h"
 
 namespace capsys {
@@ -27,9 +29,18 @@ struct ScalingExperimentOptions {
   bool start_optimal = true;
   // Fraction of the target a step must reach to count as "met".
   double target_fraction = 0.95;
-  // Downtime per reconfiguration: sources stay blocked while the job restarts from its
-  // checkpoint and state is restored (makes extra scaling decisions costly, as on Flink).
+  // Fixed downtime per reconfiguration — the FALLBACK when `use_checkpointing` is off (the
+  // default here, preserving the paper's Table 4 / Figure 9 setup) or before the first
+  // checkpoint completes. Sources stay blocked while the job restarts and state is
+  // restored, which makes extra scaling decisions costly, as on Flink.
   double reconfigure_downtime_s = 5.0;
+  // When on, a CheckpointCoordinator runs alongside the DS2 loop and each
+  // reconfiguration's blackout comes from the recovery-time model (restore bytes / disk
+  // bandwidth + source replay from the last barrier) instead of the fixed constant.
+  bool use_checkpointing = false;
+  CheckpointOptions checkpoint;
+  StateGrowthModel state;
+  bool exactly_once = true;
   int search_threads = 2;
   uint64_t seed = 1;
   SimConfig sim;
@@ -60,6 +71,10 @@ struct ScalingRun {
   std::vector<double> decision_times_s;     // when reconfigurations happened
   std::vector<StepEval> steps;
   int total_decisions = 0;
+  // Checkpoint & restore accounting (fallback constants when use_checkpointing is off).
+  double restore_downtime_s = 0.0;  // total reconfiguration blackout across the run
+  double replayed_records = 0.0;    // source backlog re-read across all reconfigurations
+  int checkpoints_completed = 0;
 };
 
 // Runs the experiment: `rate_steps` gives the target source rate (scaled per source by its

@@ -25,6 +25,8 @@ const char* FaultKindName(PrimitiveFault::Kind kind) {
       return "metric_staleness_s";
     case Kind::kSetNoise:
       return "metric_noise_frac";
+    case Kind::kSetCheckpointFail:
+      return "checkpoint_fail";
   }
   return "?";
 }
@@ -80,6 +82,9 @@ void FaultInjector::AdvanceTo(double now, FluidSimulator* sim) {
       case Kind::kSetNoise:
         corruption_.noise_frac = f.value;
         corruption_changed = true;
+        break;
+      case Kind::kSetCheckpointFail:
+        checkpoint_failing_ = f.value > 0.0;
         break;
     }
     ++next_;

@@ -45,6 +45,9 @@ class FaultInjector {
   bool IsCrashed(WorkerId w) const { return crashed_[static_cast<size_t>(w)]; }
   double DegradeFactor(WorkerId w) const { return degrade_[static_cast<size_t>(w)]; }
   int NumCrashed() const;
+  // True while a checkpoint-failure storm is active — the checkpoint coordinator consults
+  // this to fail every checkpoint attempted in the window.
+  bool CheckpointsFailing() const { return checkpoint_failing_; }
   double dropout_p() const { return corruption_.dropout_p; }
   const MetricCorruption& corruption() const { return corruption_; }
   // True when every scheduled fault has been applied.
@@ -60,6 +63,7 @@ class FaultInjector {
 
   std::vector<bool> crashed_;
   std::vector<double> degrade_;
+  bool checkpoint_failing_ = false;
   MetricCorruption corruption_;
   uint64_t corruption_seed_;
 

@@ -24,6 +24,8 @@ const char* FaultTypeName(FaultType type) {
       return "metric_staleness";
     case FaultType::kMetricNoise:
       return "metric_noise";
+    case FaultType::kCheckpointFailure:
+      return "checkpoint_failure";
   }
   return "?";
 }
@@ -44,6 +46,8 @@ std::string FaultEvent::ToString() const {
     case FaultType::kMetricNoise:
       return Sprintf("t=%.1f %s %.2f dur=%.1fs", time_s, FaultTypeName(type), factor,
                      duration_s);
+    case FaultType::kCheckpointFailure:
+      return Sprintf("t=%.1f checkpoint_failure dur=%.1fs", time_s, duration_s);
   }
   return "?";
 }
@@ -62,6 +66,8 @@ std::string PrimitiveFault::ToString() const {
       return Sprintf("t=%.1f staleness %.1fs", time_s, value);
     case Kind::kSetNoise:
       return Sprintf("t=%.1f noise %.2f", time_s, value);
+    case Kind::kSetCheckpointFail:
+      return Sprintf("t=%.1f checkpoint_fail %s", time_s, value > 0.0 ? "on" : "off");
   }
   return "?";
 }
@@ -126,6 +132,14 @@ FaultSchedule& FaultSchedule::MetricNoise(double time_s, double stddev, double d
   return *this;
 }
 
+FaultSchedule& FaultSchedule::CheckpointFailureStorm(double time_s, double duration_s) {
+  CAPSYS_CHECK_MSG(duration_s > 0.0, "checkpoint failure storm needs a positive duration");
+  events_.push_back(FaultEvent{.time_s = time_s,
+                               .type = FaultType::kCheckpointFailure,
+                               .duration_s = duration_s});
+  return *this;
+}
+
 std::vector<PrimitiveFault> FaultSchedule::Expand() const {
   using Kind = PrimitiveFault::Kind;
   std::vector<PrimitiveFault> out;
@@ -159,6 +173,10 @@ std::vector<PrimitiveFault> FaultSchedule::Expand() const {
       case FaultType::kMetricNoise:
         out.push_back({e.time_s, Kind::kSetNoise, kInvalidId, e.factor});
         out.push_back({e.time_s + e.duration_s, Kind::kSetNoise, kInvalidId, 0.0});
+        break;
+      case FaultType::kCheckpointFailure:
+        out.push_back({e.time_s, Kind::kSetCheckpointFail, kInvalidId, 1.0});
+        out.push_back({e.time_s + e.duration_s, Kind::kSetCheckpointFail, kInvalidId, 0.0});
         break;
     }
   }
@@ -250,6 +268,7 @@ FaultSchedule FaultSchedule::Random(int num_workers, const RandomOptions& option
         break;
       case FaultType::kMetricStaleness:
       case FaultType::kRestore:
+      case FaultType::kCheckpointFailure:
         break;  // never drawn
     }
   }

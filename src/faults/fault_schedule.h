@@ -23,6 +23,7 @@ enum class FaultType : int {
   kMetricDropout,       // controller-facing metric reads and heartbeats lost w.p. `factor`
   kMetricStaleness,     // controller-facing metric reads lag `factor` seconds behind
   kMetricNoise,         // controller-facing metric reads get multiplicative noise (stddev `factor`)
+  kCheckpointFailure,   // every checkpoint attempted during the episode fails (storm)
 };
 
 const char* FaultTypeName(FaultType type);
@@ -53,6 +54,7 @@ struct PrimitiveFault {
     kSetDropout,    // value = loss probability (0 switches off)
     kSetStaleness,  // value = lag seconds (0 switches off)
     kSetNoise,      // value = stddev (0 switches off)
+    kSetCheckpointFail,  // value = 1 storms on / 0 off (checkpoints fail while on)
   };
   double time_s = 0.0;
   Kind kind = Kind::kCrash;
@@ -76,6 +78,10 @@ class FaultSchedule {
   FaultSchedule& MetricDropout(double time_s, double probability, double duration_s);
   FaultSchedule& MetricStaleness(double time_s, double staleness_s, double duration_s);
   FaultSchedule& MetricNoise(double time_s, double stddev, double duration_s);
+  // Checkpoint-failure storm: the durable checkpoint storage is unavailable for
+  // `duration_s` — every checkpoint attempted in the window fails, so recovery falls back
+  // to ever-older completed checkpoints (and ever-longer source replay).
+  FaultSchedule& CheckpointFailureStorm(double time_s, double duration_s);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }

@@ -32,6 +32,18 @@ const char* EventTypeName(EventType type) {
       return "Reconfiguration";
     case EventType::kRecoveryVerdict:
       return "RecoveryVerdict";
+    case EventType::kCheckpointStarted:
+      return "CheckpointStarted";
+    case EventType::kCheckpointCompleted:
+      return "CheckpointCompleted";
+    case EventType::kCheckpointFailed:
+      return "CheckpointFailed";
+    case EventType::kCheckpointExpired:
+      return "CheckpointExpired";
+    case EventType::kRestoreStarted:
+      return "RestoreStarted";
+    case EventType::kRestoreCompleted:
+      return "RestoreCompleted";
   }
   return "?";
 }
@@ -215,6 +227,79 @@ void EmitRecoveryVerdict(double time_s, const std::string& outcome, int usable_w
   }
   Event e{EventType::kRecoveryVerdict, time_s, {}};
   e.fields = {{"outcome", outcome}, {"usable_workers", Sprintf("%d", usable_workers)}};
+  log.Emit(std::move(e));
+}
+
+void EmitCheckpointStarted(double time_s, uint64_t checkpoint_id, uint64_t full_bytes,
+                           uint64_t delta_bytes) {
+  EventLog& log = EventLog::Global();
+  if (!log.enabled()) {
+    return;
+  }
+  Event e{EventType::kCheckpointStarted, time_s, {}};
+  e.fields = {{"checkpoint_id", Sprintf("%llu", static_cast<unsigned long long>(checkpoint_id))},
+              {"full_bytes", Sprintf("%llu", static_cast<unsigned long long>(full_bytes))},
+              {"delta_bytes", Sprintf("%llu", static_cast<unsigned long long>(delta_bytes))}};
+  log.Emit(std::move(e));
+}
+
+void EmitCheckpointCompleted(double time_s, uint64_t checkpoint_id, double duration_s,
+                             uint64_t delta_bytes) {
+  EventLog& log = EventLog::Global();
+  if (!log.enabled()) {
+    return;
+  }
+  Event e{EventType::kCheckpointCompleted, time_s, {}};
+  e.fields = {{"checkpoint_id", Sprintf("%llu", static_cast<unsigned long long>(checkpoint_id))},
+              {"duration_s", Num(duration_s)},
+              {"delta_bytes", Sprintf("%llu", static_cast<unsigned long long>(delta_bytes))}};
+  log.Emit(std::move(e));
+}
+
+void EmitCheckpointFailed(double time_s, uint64_t checkpoint_id, const std::string& reason) {
+  EventLog& log = EventLog::Global();
+  if (!log.enabled()) {
+    return;
+  }
+  Event e{EventType::kCheckpointFailed, time_s, {}};
+  e.fields = {{"checkpoint_id", Sprintf("%llu", static_cast<unsigned long long>(checkpoint_id))},
+              {"reason", reason}};
+  log.Emit(std::move(e));
+}
+
+void EmitCheckpointExpired(double time_s, uint64_t checkpoint_id, double timeout_s) {
+  EventLog& log = EventLog::Global();
+  if (!log.enabled()) {
+    return;
+  }
+  Event e{EventType::kCheckpointExpired, time_s, {}};
+  e.fields = {{"checkpoint_id", Sprintf("%llu", static_cast<unsigned long long>(checkpoint_id))},
+              {"timeout_s", Num(timeout_s)}};
+  log.Emit(std::move(e));
+}
+
+void EmitRestoreStarted(double time_s, uint64_t checkpoint_id, uint64_t restored_bytes) {
+  EventLog& log = EventLog::Global();
+  if (!log.enabled()) {
+    return;
+  }
+  Event e{EventType::kRestoreStarted, time_s, {}};
+  e.fields = {{"checkpoint_id", Sprintf("%llu", static_cast<unsigned long long>(checkpoint_id))},
+              {"restored_bytes",
+               Sprintf("%llu", static_cast<unsigned long long>(restored_bytes))}};
+  log.Emit(std::move(e));
+}
+
+void EmitRestoreCompleted(double time_s, uint64_t checkpoint_id, double downtime_s,
+                          double replayed_records) {
+  EventLog& log = EventLog::Global();
+  if (!log.enabled()) {
+    return;
+  }
+  Event e{EventType::kRestoreCompleted, time_s, {}};
+  e.fields = {{"checkpoint_id", Sprintf("%llu", static_cast<unsigned long long>(checkpoint_id))},
+              {"downtime_s", Num(downtime_s)},
+              {"replayed_records", Num(replayed_records)}};
   log.Emit(std::move(e));
 }
 

@@ -33,6 +33,12 @@ enum class EventType : int {
   kWorkerDeclaredDead,     // the failure detector declared a worker dead
   kReconfiguration,        // the controller redeployed onto a new plan
   kRecoveryVerdict,        // outcome of a recovery attempt (incl. unplaceable)
+  kCheckpointStarted,      // the coordinator injected barriers for a new checkpoint
+  kCheckpointCompleted,    // all state was snapshotted and the manifest committed
+  kCheckpointFailed,       // a participant crashed / a failure storm hit mid-checkpoint
+  kCheckpointExpired,      // the checkpoint outlived its timeout and was discarded
+  kRestoreStarted,         // recovery began restoring from a completed checkpoint
+  kRestoreCompleted,       // restore + source replay finished; the job is live again
 };
 
 const char* EventTypeName(EventType type);
@@ -96,6 +102,15 @@ void EmitWorkerDeclaredDead(double time_s, WorkerId worker, bool actually_crashe
 void EmitReconfiguration(double time_s, const std::string& outcome, int slots,
                          double sustainable_rate);
 void EmitRecoveryVerdict(double time_s, const std::string& outcome, int usable_workers);
+void EmitCheckpointStarted(double time_s, uint64_t checkpoint_id, uint64_t full_bytes,
+                           uint64_t delta_bytes);
+void EmitCheckpointCompleted(double time_s, uint64_t checkpoint_id, double duration_s,
+                             uint64_t delta_bytes);
+void EmitCheckpointFailed(double time_s, uint64_t checkpoint_id, const std::string& reason);
+void EmitCheckpointExpired(double time_s, uint64_t checkpoint_id, double timeout_s);
+void EmitRestoreStarted(double time_s, uint64_t checkpoint_id, uint64_t restored_bytes);
+void EmitRestoreCompleted(double time_s, uint64_t checkpoint_id, double downtime_s,
+                          double replayed_records);
 
 }  // namespace capsys
 

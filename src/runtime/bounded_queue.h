@@ -4,6 +4,7 @@
 #ifndef SRC_RUNTIME_BOUNDED_QUEUE_H_
 #define SRC_RUNTIME_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -28,10 +29,46 @@ class BoundedQueue {
     return true;
   }
 
+  // Deadline-bounded Push: waits at most `timeout` for space. Returns false on timeout or
+  // when the queue was closed — callers distinguish the two via closed(). Lets pipeline
+  // barrier points bound their wait on a wedged consumer instead of blocking forever.
+  template <class Rep, class Period>
+  bool TryPush(T value, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_full_.wait_for(lock, timeout,
+                            [this] { return items_.size() < capacity_ || closed_; })) {
+      return false;
+    }
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
   // Blocks until an item arrives or the queue is closed and drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Deadline-bounded Pop: waits at most `timeout` for an item. Returns nullopt on timeout
+  // or when the queue is closed and drained — callers distinguish the two via closed().
+  template <class Rep, class Period>
+  std::optional<T> TryPop(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [this] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -52,6 +89,11 @@ class BoundedQueue {
   size_t Size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
   }
 
  private:

@@ -14,8 +14,10 @@ using RecordQueue = BoundedQueue<Record>;
 
 }  // namespace
 
-Pipeline::Pipeline(std::vector<StageSpec> stages) : stages_(std::move(stages)) {
+Pipeline::Pipeline(std::vector<StageSpec> stages, double stall_timeout_s)
+    : stages_(std::move(stages)), stall_timeout_s_(stall_timeout_s) {
   CAPSYS_CHECK(!stages_.empty());
+  CAPSYS_CHECK(stall_timeout_s_ > 0.0);
   for (const auto& s : stages_) {
     CAPSYS_CHECK(s.parallelism >= 1);
     CAPSYS_CHECK(s.factory != nullptr);
@@ -40,8 +42,16 @@ PipelineResult Pipeline::Run(const std::vector<Event>& inputs) {
   }
   std::mutex output_mu;
   std::mutex stats_mu;
+  std::atomic<bool> wedged{false};
+  std::atomic<uint64_t> dropped{0};
+  const auto stall_timeout =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(stall_timeout_s_));
 
-  // Routes a record to the target stage's queues (hash by key or round-robin).
+  // Routes a record to the target stage's queues (hash by key or round-robin). The push is
+  // deadline-bounded: a downstream task that stopped consuming would otherwise block this
+  // producer forever and deadlock the stage-by-stage drain in Run(), so after the stall
+  // timeout the record is dropped and the run flagged as wedged.
   auto make_emit = [&](size_t next_stage, std::atomic<uint64_t>* rr_counter) {
     return [&, next_stage, rr_counter](Record record) {
       auto& targets = queues[next_stage];
@@ -53,7 +63,12 @@ PipelineResult Pipeline::Run(const std::vector<Event>& inputs) {
           idx = rr_counter->fetch_add(1, std::memory_order_relaxed) % targets.size();
         }
       }
-      targets[idx]->Push(std::move(record));
+      if (!targets[idx]->TryPush(std::move(record), stall_timeout)) {
+        if (!targets[idx]->closed()) {
+          wedged.store(true, std::memory_order_relaxed);
+        }
+        dropped.fetch_add(1, std::memory_order_relaxed);
+      }
     };
   };
 
@@ -79,9 +94,29 @@ PipelineResult Pipeline::Run(const std::vector<Event>& inputs) {
           emit = output_emit;
         }
         RecordQueue& in = *queues[s][static_cast<size_t>(task)];
-        while (auto record = in.Pop()) {
-          op->Process(*record, emit);
+        // Deadline-bounded pops: when the pipeline wedges, upstream stops feeding without
+        // closing this queue — bail out instead of waiting on it forever.
+        auto process_one = [&](Record& record) {
+          op->Process(record, emit);
           processed[s].fetch_add(1, std::memory_order_relaxed);
+        };
+        for (;;) {
+          std::optional<Record> record = in.TryPop(stall_timeout);
+          if (record.has_value()) {
+            process_one(*record);
+            continue;
+          }
+          if (in.closed()) {
+            // No push can succeed after the close; drain whatever raced in between the
+            // timed-out wait and the close, then exit (same semantics as blocking Pop).
+            while ((record = in.TryPop(std::chrono::seconds(0))).has_value()) {
+              process_one(*record);
+            }
+            break;
+          }
+          if (wedged.load(std::memory_order_relaxed)) {
+            break;
+          }
         }
         op->Flush(emit);
         if (const StateStoreStats* stats = op->state_stats()) {
@@ -121,6 +156,8 @@ PipelineResult Pipeline::Run(const std::vector<Event>& inputs) {
   for (size_t s = 0; s < num_stages; ++s) {
     result.processed_per_stage[s] = processed[s].load();
   }
+  result.wedged = wedged.load();
+  result.dropped_records = dropped.load();
   return result;
 }
 

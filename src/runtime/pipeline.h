@@ -33,17 +33,26 @@ struct PipelineResult {
   double elapsed_s = 0.0;
   // Aggregated state-store statistics across all stateful tasks.
   StateStoreStats state_stats;
+  // Wedge protection fired: some barrier-point push waited longer than the stall timeout
+  // (a downstream task stopped consuming) and records were dropped to keep the pipeline
+  // from deadlocking.
+  bool wedged = false;
+  uint64_t dropped_records = 0;
 };
 
 class Pipeline {
  public:
-  explicit Pipeline(std::vector<StageSpec> stages);
+  // `stall_timeout_s` bounds every barrier-point queue wait: a push that cannot make
+  // progress for this long marks the run wedged and drops the record instead of blocking
+  // forever behind a stuck stage.
+  explicit Pipeline(std::vector<StageSpec> stages, double stall_timeout_s = 30.0);
 
   // Feeds `inputs` through the pipeline and blocks until fully drained.
   PipelineResult Run(const std::vector<Event>& inputs);
 
  private:
   std::vector<StageSpec> stages_;
+  double stall_timeout_s_;
 };
 
 }  // namespace capsys

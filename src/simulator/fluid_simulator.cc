@@ -39,6 +39,7 @@ FluidSimulator::FluidSimulator(const PhysicalGraph& graph, const Cluster& cluste
   }
   failed_.assign(static_cast<size_t>(cluster_.num_workers()), false);
   degrade_.assign(static_cast<size_t>(cluster_.num_workers()), 1.0);
+  checkpoint_io_bps_.assign(static_cast<size_t>(cluster_.num_workers()), 0.0);
   task_true_rate_.resize(n);
   task_observed_rate_.resize(n);
   op_emit_rate_.resize(static_cast<size_t>(graph_.num_operators()));
@@ -110,6 +111,16 @@ void FluidSimulator::DegradeWorker(WorkerId w, double factor) {
   degrade_[static_cast<size_t>(w)] = factor;
 }
 
+void FluidSimulator::SetWorkerCheckpointIoBps(WorkerId w, double bps) {
+  CAPSYS_CHECK(w >= 0 && w < cluster_.num_workers());
+  CAPSYS_CHECK_MSG(bps >= 0.0, "checkpoint io must be non-negative");
+  checkpoint_io_bps_[static_cast<size_t>(w)] = bps;
+}
+
+void FluidSimulator::ClearCheckpointIo() {
+  std::fill(checkpoint_io_bps_.begin(), checkpoint_io_bps_.end(), 0.0);
+}
+
 void FluidSimulator::SetMetricCorruption(const MetricCorruption& corruption, uint64_t seed) {
   corruption_ = corruption;
   corruption_rng_ = Rng(seed);
@@ -169,7 +180,14 @@ void FluidSimulator::Step() {
       l.gc_fraction = prof.gc_spike_fraction;
       loads.push_back(l);
     }
-    WorkerAllocation alloc = SolveWorker(cluster_.worker(w).spec, config_.contention, loads);
+    WorkerSpec spec = cluster_.worker(w).spec;
+    if (double ckpt_bps = checkpoint_io_bps_[static_cast<size_t>(w)]; ckpt_bps > 0.0) {
+      // Snapshot upload competes for the disk: the tasks contend for what remains (floored
+      // so a misconfigured coordinator cannot starve the worker outright).
+      spec.io_bandwidth_bps = std::max(0.1 * spec.io_bandwidth_bps,
+                                       spec.io_bandwidth_bps - ckpt_bps);
+    }
+    WorkerAllocation alloc = SolveWorker(spec, config_.contention, loads);
     if (failed_[static_cast<size_t>(w)]) {
       std::fill(alloc.rate.begin(), alloc.rate.end(), 0.0);
       std::fill(alloc.capacity_rate.begin(), alloc.capacity_rate.end(), 0.0);

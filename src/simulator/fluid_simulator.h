@@ -85,6 +85,16 @@ class FluidSimulator {
   void DegradeWorker(WorkerId w, double factor);
   double WorkerDegradeFactor(WorkerId w) const { return degrade_[static_cast<size_t>(w)]; }
 
+  // Checkpoint traffic: `bps` bytes/s of snapshot upload charged against the worker's disk
+  // bandwidth — the tasks placed there see a smaller effective I/O budget while a
+  // checkpoint is in flight, so checkpointing contends with compaction exactly as in the
+  // paper's §3.3 I/O-contention study. 0 clears the charge.
+  void SetWorkerCheckpointIoBps(WorkerId w, double bps);
+  void ClearCheckpointIo();
+  double WorkerCheckpointIoBps(WorkerId w) const {
+    return checkpoint_io_bps_[static_cast<size_t>(w)];
+  }
+
   // Fault injection: corrupts subsequent controller-facing metric reads (the Operator*
   // accessors below). `seed` makes dropout/noise deterministic.
   void SetMetricCorruption(const MetricCorruption& corruption, uint64_t seed);
@@ -152,6 +162,7 @@ class FluidSimulator {
   std::vector<bool> is_source_;
   std::vector<bool> failed_;            // per worker
   std::vector<double> degrade_;         // per worker capacity factor, 1.0 = healthy
+  std::vector<double> checkpoint_io_bps_;  // per worker snapshot-upload traffic
   MetricCorruption corruption_;
   mutable Rng corruption_rng_{0};       // consumed only while corruption is active
   mutable uint64_t pending_dropouts_ = 0;  // dropouts hit since the last flush

@@ -13,6 +13,15 @@ size_t EntryBytes(const std::string& key, const std::string& value) {
 
 }  // namespace
 
+bool StateStore::StateSnapshot::ContainsRun(uint64_t run_id) const {
+  for (const auto& run : runs) {
+    if (run->id == run_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
 StateStore::StateStore(StateStoreOptions options) : options_(options) {
   CAPSYS_CHECK(options_.memtable_flush_bytes > 0);
   CAPSYS_CHECK(options_.max_runs >= 1);
@@ -63,9 +72,9 @@ void StateStore::Scan(const std::string& from, const std::string& to,
   // scan ranges in the workloads are small (one window pane / session).
   std::map<std::string, std::pair<std::string, bool>> merged;
   for (const auto& run : runs_) {  // oldest first, later inserts overwrite
-    auto lo = std::lower_bound(run.begin(), run.end(), from,
+    auto lo = std::lower_bound(run->entries.begin(), run->entries.end(), from,
                                [](const Entry& e, const std::string& k) { return e.key < k; });
-    for (auto it = lo; it != run.end() && it->key < to; ++it) {
+    for (auto it = lo; it != run->entries.end() && it->key < to; ++it) {
       merged[it->key] = {it->value, it->tombstone};
     }
   }
@@ -87,6 +96,36 @@ size_t StateStore::LiveKeyCount() {
   return count;
 }
 
+StateStore::StateSnapshot StateStore::Snapshot(const StateSnapshot* base) {
+  // Freeze the memtable: an explicit flush makes the snapshot a pure run manifest, which
+  // is what keeps it immutable under later writes, flushes, and compactions.
+  Flush();
+  StateSnapshot snap;
+  snap.snapshot_id = next_snapshot_id_++;
+  snap.runs = runs_;
+  for (const auto& run : runs_) {
+    snap.total_bytes += run->bytes;
+    if (base == nullptr || !base->ContainsRun(run->id)) {
+      snap.shipped_bytes += run->bytes;
+    }
+  }
+  // Uploading a run reads it from local disk; the checkpoint traffic lands in the same
+  // U_io dimension compaction competes in.
+  stats_.bytes_read += snap.shipped_bytes;
+  stats_.checkpoint_bytes_shipped += snap.shipped_bytes;
+  ++stats_.snapshots;
+  return snap;
+}
+
+void StateStore::Restore(const StateSnapshot& snapshot) {
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  runs_ = snapshot.runs;
+  stats_.bytes_written += snapshot.total_bytes;
+  stats_.restore_bytes += snapshot.total_bytes;
+  ++stats_.restores;
+}
+
 void StateStore::Clear() {
   memtable_.clear();
   memtable_bytes_ = 0;
@@ -104,11 +143,14 @@ void StateStore::Flush() {
   if (memtable_.empty()) {
     return;
   }
-  Run run;
-  run.reserve(memtable_.size());
+  auto run = std::make_shared<RunData>();
+  run->id = next_run_id_++;
+  run->entries.reserve(memtable_.size());
   for (const auto& [key, vt] : memtable_) {
-    run.push_back(Entry{.key = key, .value = vt.first, .tombstone = vt.second});
-    stats_.bytes_written += EntryBytes(key, vt.first);
+    run->entries.push_back(Entry{.key = key, .value = vt.first, .tombstone = vt.second});
+    size_t bytes = EntryBytes(key, vt.first);
+    run->bytes += bytes;
+    stats_.bytes_written += bytes;
   }
   runs_.push_back(std::move(run));
   memtable_.clear();
@@ -126,20 +168,24 @@ void StateStore::Compact() {
   if (runs_.size() <= 1) {
     return;
   }
-  // Account compaction I/O: every surviving byte is read and rewritten.
+  // Account compaction I/O: every surviving byte is read and rewritten. Snapshots taken
+  // before this point keep the pre-compaction runs alive through their shared manifests.
   std::map<std::string, Entry> merged;
   for (const auto& run : runs_) {
-    for (const auto& e : run) {
+    for (const auto& e : run->entries) {
       stats_.bytes_read += EntryBytes(e.key, e.value);
       merged[e.key] = e;
     }
   }
-  Run out;
-  out.reserve(merged.size());
+  auto out = std::make_shared<RunData>();
+  out->id = next_run_id_++;
+  out->entries.reserve(merged.size());
   for (auto& [key, e] : merged) {
     if (!e.tombstone) {  // compaction to a single run drops tombstones
-      stats_.bytes_written += EntryBytes(key, e.value);
-      out.push_back(std::move(e));
+      size_t bytes = EntryBytes(key, e.value);
+      out->bytes += bytes;
+      stats_.bytes_written += bytes;
+      out->entries.push_back(std::move(e));
     }
   }
   runs_.clear();
@@ -149,7 +195,7 @@ void StateStore::Compact() {
 
 const StateStore::Entry* StateStore::FindInRuns(const std::string& key) const {
   for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {  // newest run first
-    const Run& run = *rit;
+    const Run& run = (*rit)->entries;
     auto it = std::lower_bound(run.begin(), run.end(), key,
                                [](const Entry& e, const std::string& k) { return e.key < k; });
     if (it != run.end() && it->key == key) {

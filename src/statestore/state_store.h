@@ -5,12 +5,21 @@
 // accounts every byte read and written — including compaction traffic — because the paper's
 // I/O cost U_io(t) is exactly the state backend's read+write byte rate, and the superlinear
 // penalty of co-locating stateful tasks comes from compaction interference (§3.3).
+//
+// Checkpoint support: Snapshot() freezes the memtable into a run and returns an immutable
+// view (a manifest of shared, id-tagged runs — the RocksDB "column family snapshot +
+// SST manifest" analogue). Passing the previous snapshot makes the checkpoint incremental:
+// only runs absent from the base manifest are shipped, and exactly those bytes are charged
+// to the store's I/O accounting, so checkpoint traffic contends with compaction in U_io
+// exactly as on a real state backend. Restore() replaces the live state with a snapshot's
+// manifest, charging the restored bytes as writes (re-materializing local disk).
 #ifndef SRC_STATESTORE_STATE_STORE_H_
 #define SRC_STATESTORE_STATE_STORE_H_
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,12 +34,17 @@ struct StateStoreOptions {
 };
 
 struct StateStoreStats {
-  uint64_t bytes_written = 0;     // user writes + flush + compaction writes
-  uint64_t bytes_read = 0;        // user reads + compaction reads
+  uint64_t bytes_written = 0;     // user writes + flush + compaction + restore writes
+  uint64_t bytes_read = 0;        // user reads + compaction + checkpoint-upload reads
   uint64_t user_bytes_written = 0;
   uint64_t user_bytes_read = 0;
   uint64_t flushes = 0;
   uint64_t compactions = 0;
+  uint64_t snapshots = 0;
+  uint64_t restores = 0;
+  // Bytes shipped by snapshots (full for the first / non-incremental, delta otherwise).
+  uint64_t checkpoint_bytes_shipped = 0;
+  uint64_t restore_bytes = 0;
 
   // Write amplification: total bytes written per user byte written.
   double WriteAmplification() const {
@@ -42,6 +56,31 @@ struct StateStoreStats {
 
 class StateStore {
  public:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool tombstone = false;
+  };
+  using Run = std::vector<Entry>;  // sorted by key, unique keys
+
+  // One immutable, id-tagged run. Snapshots share ownership, so compaction replacing the
+  // live run set never invalidates a snapshot taken before it.
+  struct RunData {
+    uint64_t id = 0;
+    uint64_t bytes = 0;
+    Run entries;
+  };
+
+  // Immutable snapshot view: the manifest of runs that made up the store at snapshot time.
+  struct StateSnapshot {
+    uint64_t snapshot_id = 0;
+    std::vector<std::shared_ptr<const RunData>> runs;  // oldest first
+    uint64_t total_bytes = 0;    // sum of all manifest runs
+    uint64_t shipped_bytes = 0;  // bytes not covered by the base manifest (delta)
+
+    bool ContainsRun(uint64_t run_id) const;
+  };
+
   explicit StateStore(StateStoreOptions options = {});
 
   // Inserts or overwrites `key`.
@@ -59,6 +98,16 @@ class StateStore {
   // Number of live (non-deleted) keys. O(n); intended for tests and examples.
   size_t LiveKeyCount();
 
+  // Takes an aligned snapshot: the memtable is frozen (flushed to a run, so the view is a
+  // pure run manifest) and the current run set is captured. When `base` is non-null the
+  // snapshot is incremental relative to it — only runs absent from `base` count as shipped.
+  // Shipped bytes are charged as reads (uploading a run reads it from local disk).
+  StateSnapshot Snapshot(const StateSnapshot* base = nullptr);
+
+  // Replaces the live state with `snapshot`'s manifest (memtable cleared). Restored bytes
+  // are charged as writes (re-materializing local disk from the checkpoint).
+  void Restore(const StateSnapshot& snapshot);
+
   // Drops all data and resets structural state (stats are retained).
   void Clear();
 
@@ -66,13 +115,6 @@ class StateStore {
   int run_count() const { return static_cast<int>(runs_.size()); }
 
  private:
-  struct Entry {
-    std::string key;
-    std::string value;
-    bool tombstone = false;
-  };
-  using Run = std::vector<Entry>;  // sorted by key, unique keys
-
   void MaybeFlush();
   void Flush();
   void MaybeCompact();
@@ -85,7 +127,9 @@ class StateStore {
   // Memtable value: (value, tombstone).
   std::map<std::string, std::pair<std::string, bool>> memtable_;
   size_t memtable_bytes_ = 0;
-  std::vector<Run> runs_;  // oldest first
+  std::vector<std::shared_ptr<const RunData>> runs_;  // oldest first
+  uint64_t next_run_id_ = 1;
+  uint64_t next_snapshot_id_ = 1;
 };
 
 }  // namespace capsys

@@ -14,6 +14,7 @@
 #include "src/faults/fault_injector.h"
 #include "src/faults/fault_schedule.h"
 #include "src/nexmark/queries.h"
+#include "src/obs/events.h"
 #include "src/simulator/fluid_simulator.h"
 
 namespace capsys {
@@ -368,6 +369,52 @@ TEST(ChaosExperimentTest, SameSeedYieldsIdenticalRecoveryTimeline) {
     EXPECT_EQ(a.timeline[i].slots, b.timeline[i].slots);
   }
   EXPECT_EQ(a.reconfig_times_s, b.reconfig_times_s);
+}
+
+namespace {
+
+// PlacementDecision events carry decision_time_s, the one wall-clock measurement in the
+// event log (how long the placement search took on this machine). Blank it out so the
+// comparison covers every simulated quantity byte-for-byte.
+std::string StripWallClockFields(std::string log) {
+  const std::string key = "\"decision_time_s\":";
+  size_t pos = 0;
+  while ((pos = log.find(key, pos)) != std::string::npos) {
+    size_t value_begin = pos + key.size();
+    size_t value_end = log.find_first_of(",}", value_begin);
+    if (value_end == std::string::npos) {
+      break;
+    }
+    log.replace(value_begin, value_end - value_begin, "0");
+    pos = value_begin;
+  }
+  return log;
+}
+
+}  // namespace
+
+TEST(ChaosExperimentTest, SameSeedYieldsByteIdenticalEventLog) {
+  Cluster cluster(5, WorkerSpec::R5dXlarge(4));
+  QuerySpec q = BuildQ1Sliding();
+  FaultSchedule s;
+  s.Crash(30.0, 1).Restore(90.0, 1);
+  s.CheckpointFailureStorm(50.0, 20.0);
+  s.MetricDropout(40.0, 0.4, 30.0);
+  ChaosExperimentOptions o = FastChaos();
+  o.search_threads = 1;  // multi-threaded search ties break non-deterministically
+  EventLog& log = EventLog::Global();
+  log.Enable();
+  log.Reset();
+  RunChaosExperiment(q, cluster, s, o);
+  std::string first = StripWallClockFields(log.ToJsonLines());
+  log.Reset();
+  RunChaosExperiment(q, cluster, s, o);
+  std::string second = StripWallClockFields(log.ToJsonLines());
+  log.Disable();
+  log.Reset();
+  ASSERT_FALSE(first.empty());
+  // Every event — faults, detector verdicts, checkpoints, restores — replays identically.
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

@@ -89,6 +89,44 @@ TEST(BoundedQueueTest, ConcurrentProducersConsumersLoseNothing) {
   EXPECT_EQ(sum.load(), expected);
 }
 
+TEST(BoundedQueueTest, TryPushTimesOutOnFullQueueThenSucceedsAfterDrain) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(1, std::chrono::milliseconds(10)));
+  // Full: the deadline-bounded push gives up instead of blocking forever.
+  EXPECT_FALSE(q.TryPush(2, std::chrono::milliseconds(20)));
+  EXPECT_FALSE(q.closed());  // caller can tell timeout from close
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_TRUE(q.TryPush(3, std::chrono::milliseconds(10)));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(4, std::chrono::milliseconds(10)));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueueTest, TryPopTimesOutOnEmptyQueueButDrainsAfterClose) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.TryPop(std::chrono::milliseconds(20)), std::nullopt);  // timeout, not closed
+  EXPECT_FALSE(q.closed());
+  q.Push(7);
+  EXPECT_EQ(q.TryPop(std::chrono::milliseconds(20)), 7);
+  q.Push(8);
+  q.Close();
+  // Close-with-items: TryPop still drains before reporting exhaustion.
+  EXPECT_EQ(q.TryPop(std::chrono::milliseconds(20)), 8);
+  EXPECT_EQ(q.TryPop(std::chrono::milliseconds(20)), std::nullopt);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueueTest, TryPopWakesWhenItemArrives) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    q.Push(42);
+  });
+  // The wait is bounded but not a busy spin: the push wakes it well before the deadline.
+  EXPECT_EQ(q.TryPop(std::chrono::seconds(5)), 42);
+  producer.join();
+}
+
 // --- Operators: reference semantics ----------------------------------------------------------
 
 // Reference computation of sliding-window bid counts per (window start, auction).
@@ -270,6 +308,58 @@ TEST(PipelineTest, RoundRobinSpreadsWork) {
   for (const auto& c : per_task) {
     EXPECT_EQ(c.load(), 1000);  // perfect round-robin
   }
+}
+
+TEST(PipelineTest, WedgedStageTripsStallProtectionInsteadOfHanging) {
+  // The middle stage stalls hard on every record (simulating a stuck task). With tiny
+  // queues and a short stall timeout, the deadline-bounded barrier pushes give up, flag
+  // the run as wedged, and Run() returns instead of deadlocking in the drain.
+  NexmarkGenerator gen;
+  std::vector<Event> events = gen.Take(40);
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "filter",
+                             .parallelism = 1,
+                             .factory = [](int) { return MakeBidFilter(); },
+                             .key = nullptr,
+                             .queue_capacity = 2});
+  stages.push_back(StageSpec{
+      .name = "wedge", .parallelism = 1, .factory = [](int) {
+        class Wedge : public RecordOperator {
+         public:
+          void Process(const Record& r, const EmitFn& emit) override {
+            std::this_thread::sleep_for(std::chrono::milliseconds(300));
+            emit(r);
+          }
+        };
+        return std::make_unique<Wedge>();
+      },
+      .key = nullptr,
+      .queue_capacity = 2});
+  PipelineResult r = Pipeline(std::move(stages), /*stall_timeout_s=*/0.02).Run(events);
+  EXPECT_TRUE(r.wedged);
+  EXPECT_GT(r.dropped_records, 0u);
+  // The wedged stage still consumed something — the pipeline degraded, it didn't deadlock.
+  EXPECT_LT(r.processed_per_stage[1], r.processed_per_stage[0]);
+}
+
+TEST(PipelineTest, HealthyRunNeverTripsWedgeProtection) {
+  NexmarkGenerator gen;
+  std::vector<Event> events = gen.Take(3000);
+  std::vector<StageSpec> stages;
+  stages.push_back(StageSpec{.name = "filter",
+                             .parallelism = 1,
+                             .factory = [](int) { return MakeBidFilter(); },
+                             .key = nullptr,
+                             .queue_capacity = 2});
+  stages.push_back(StageSpec{.name = "count",
+                             .parallelism = 2,
+                             .factory = [](int) { return MakeSlidingBidCounter(4000, 2000); },
+                             .key = KeyByAuction,
+                             .queue_capacity = 2});
+  PipelineResult r = Pipeline(std::move(stages)).Run(events);
+  EXPECT_FALSE(r.wedged);
+  EXPECT_EQ(r.dropped_records, 0u);
+  EXPECT_EQ(r.processed_per_stage[0], 3000u);
 }
 
 TEST(PipelineTest, EmptyInputFlushesCleanly) {

@@ -192,6 +192,112 @@ TEST(StateStoreTest, RandomOpsMatchReferenceModel) {
   EXPECT_EQ(store.LiveKeyCount(), reference.size());
 }
 
+// --- Snapshot & restore ----------------------------------------------------------------------
+
+// Captures the live key→value map via a full scan.
+std::map<std::string, std::string> Contents(StateStore& store) {
+  std::map<std::string, std::string> out;
+  store.Scan("", "\x7f", [&](const std::string& k, const std::string& v) { out[k] = v; });
+  return out;
+}
+
+TEST(StateStoreSnapshotTest, SnapshotRestoreRoundTripsExactLiveKeySet) {
+  StateStoreOptions options;
+  options.memtable_flush_bytes = 96;
+  options.max_runs = 2;
+  StateStore store(options);
+  for (int i = 0; i < 200; ++i) {
+    store.Put("k" + std::to_string(i % 60), "v" + std::to_string(i));
+  }
+  store.Delete("k3");
+  std::map<std::string, std::string> before = Contents(store);
+
+  StateStore::StateSnapshot snap = store.Snapshot();
+  // Mutations after the snapshot — including compaction churn — must not leak into it.
+  for (int i = 0; i < 400; ++i) {
+    store.Put("post" + std::to_string(i % 80), std::string(24, 'z'));
+  }
+  store.Delete("k1");
+  EXPECT_NE(Contents(store), before);
+
+  store.Restore(snap);
+  EXPECT_EQ(Contents(store), before);
+  EXPECT_EQ(store.LiveKeyCount(), before.size());
+  EXPECT_EQ(store.stats().snapshots, 1u);
+  EXPECT_EQ(store.stats().restores, 1u);
+}
+
+TEST(StateStoreSnapshotTest, SnapshotMidCompactionChurnIsConsistent) {
+  // Tiny thresholds so Puts continuously flush and compact: snapshots land mid-flush and
+  // mid-compaction, and every one must capture the exact pre-snapshot live-key set.
+  StateStoreOptions options;
+  options.memtable_flush_bytes = 48;
+  options.max_runs = 1;
+  StateStore store(options);
+  std::map<std::string, std::string> reference;
+  std::vector<StateStore::StateSnapshot> snaps;
+  std::vector<std::map<std::string, std::string>> expected;
+  Rng rng(777);
+  for (int i = 0; i < 600; ++i) {
+    std::string key = "k" + std::to_string(rng.NextBounded(50));
+    if (rng.NextBounded(5) == 0) {
+      store.Delete(key);
+      reference.erase(key);
+    } else {
+      std::string value = "v" + std::to_string(i);
+      store.Put(key, value);
+      reference[key] = value;
+    }
+    if (i % 97 == 0) {
+      snaps.push_back(store.Snapshot(snaps.empty() ? nullptr : &snaps.back()));
+      expected.push_back(reference);
+    }
+  }
+  ASSERT_FALSE(snaps.empty());
+  for (size_t i = 0; i < snaps.size(); ++i) {
+    store.Restore(snaps[i]);
+    EXPECT_EQ(Contents(store), expected[i]) << "snapshot " << i;
+  }
+}
+
+TEST(StateStoreSnapshotTest, IncrementalSnapshotShipsOnlyNewRuns) {
+  StateStoreOptions options;
+  options.memtable_flush_bytes = 64;
+  options.max_runs = 100;  // no compaction: run ids persist across snapshots
+  StateStore store(options);
+  for (int i = 0; i < 100; ++i) {
+    store.Put("a" + std::to_string(i), "vvvvvvvv");
+  }
+  StateStore::StateSnapshot first = store.Snapshot();
+  EXPECT_EQ(first.shipped_bytes, first.total_bytes);  // nothing to base on: full upload
+  uint64_t shipped_before = store.stats().checkpoint_bytes_shipped;
+
+  for (int i = 0; i < 20; ++i) {
+    store.Put("b" + std::to_string(i), "vvvvvvvv");
+  }
+  StateStore::StateSnapshot second = store.Snapshot(&first);
+  // Only runs absent from the base manifest ship; the old runs are already uploaded.
+  EXPECT_LT(second.shipped_bytes, second.total_bytes);
+  EXPECT_GT(second.shipped_bytes, 0u);
+  for (const auto& run : first.runs) {
+    EXPECT_TRUE(second.ContainsRun(run->id));
+  }
+  // Every shipped byte is charged into the store's I/O accounting (§3.3 contention).
+  EXPECT_EQ(store.stats().checkpoint_bytes_shipped - shipped_before, second.shipped_bytes);
+}
+
+TEST(StateStoreSnapshotTest, RestoreChargesBytesAsWrites) {
+  StateStore store;
+  for (int i = 0; i < 50; ++i) {
+    store.Put("k" + std::to_string(i), std::string(32, 'w'));
+  }
+  StateStore::StateSnapshot snap = store.Snapshot();
+  uint64_t written_before = store.stats().bytes_written;
+  store.Restore(snap);
+  EXPECT_EQ(store.stats().bytes_written - written_before, snap.total_bytes);
+  EXPECT_EQ(store.stats().restore_bytes, snap.total_bytes);
+}
+
 // Parameterized: store behaviour holds across flush-threshold configurations.
 class StateStoreParamTest : public ::testing::TestWithParam<size_t> {};
 
