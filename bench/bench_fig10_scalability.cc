@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/perf_json.h"
 #include "src/caps/auto_tuner.h"
 #include "src/caps/cost_model.h"
 #include "src/caps/search.h"
@@ -54,7 +55,36 @@ QuerySpec ScaledQ2(int total_tasks) {
   return q;
 }
 
+// CAPSYS_BENCH_JSON mode: one quick find-first measurement (64 tasks, mid threshold,
+// single-threaded) for the perf-regression harness instead of the full figure sweep.
+int RunPerfJson() {
+  QuerySpec q = ScaledQ2(64);
+  Cluster cluster(16, WorkerSpec::R5dXlarge(4));
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  auto rates = PropagateRates(q.graph, q.source_rates);
+  CostModel model(graph, cluster, TaskDemands(graph, rates));
+  double best_ms = 1e300;
+  double nodes_per_s = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    SearchOptions options;
+    options.alpha = ResourceVector{0.50, 0.35, 0.70};
+    options.find_first = true;
+    options.num_threads = 1;
+    options.timeout_s = 10.0;
+    CapsSearch search(model, options);
+    SearchResult r = search.Run();
+    best_ms = std::min(best_ms, r.stats.elapsed_s * 1e3);
+    nodes_per_s = std::max(nodes_per_s, r.stats.nodes / r.stats.elapsed_s);
+  }
+  benchjson::Merge({{"fig10a_find_first_64_ms", best_ms},
+                    {"fig10a_nodes_per_s", nodes_per_s}});
+  return 0;
+}
+
 int Main() {
+  if (benchjson::Enabled()) {
+    return RunPerfJson();
+  }
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
   std::printf("=== Figure 10a: placement-search time vs problem size (find-first) ===\n\n");
   struct Alpha {

@@ -4,6 +4,9 @@
 // determine how large a deployment the controller can manage online.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/perf_json.h"
 #include "src/caps/cost_model.h"
 #include "src/caps/greedy.h"
 #include "src/caps/search.h"
@@ -131,7 +134,95 @@ void BM_RatePropagation(benchmark::State& state) {
 }
 BENCHMARK(BM_RatePropagation);
 
+// --- CAPSYS_BENCH_JSON mode: hand-timed scenarios for the perf-regression harness --------
+
+double NowS() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Best-of-`reps` timing: the minimum over repetitions filters scheduler noise, which
+// matters because the CI perf-smoke job compares single runs against a committed baseline.
+template <typename F>
+double BestOfNs(F&& fn, int iters, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    double t0 = NowS();
+    for (int i = 0; i < iters; ++i) {
+      fn();
+    }
+    best = std::min(best, (NowS() - t0) * 1e9 / iters);
+  }
+  return best;
+}
+
+int RunPerfJson() {
+  std::vector<std::pair<std::string, double>> entries;
+
+  {  // One warmed simulator tick on Q3-inf (4x4 cluster) — the steady-state hot loop.
+    Q3Fixture f;
+    FluidSimulator sim(f.graph, f.cluster, GreedyBalancedPlacement(f.model));
+    sim.SetAllSourceRates(f.q.TotalTargetRate());
+    sim.RunFor(5.0);
+    BestOfNs([&] { sim.Step(); }, 20000, 1);  // warm
+    entries.emplace_back("sim_tick_ns", BestOfNs([&] { sim.Step(); }, 100000, 5));
+  }
+
+  {  // The per-worker contention solve in isolation (16 co-located tasks, arena variant).
+    WorkerSpec spec = WorkerSpec::R5dXlarge(16);
+    std::vector<TaskLoad> loads;
+    for (int i = 0; i < 16; ++i) {
+      TaskLoad l;
+      l.cpu_per_record = 1e-4;
+      l.io_per_record = 5000;
+      l.net_per_record = 2000;
+      l.desired_rate = 5000;
+      l.stateful = i % 2 == 0;
+      l.gc_fraction = i % 3 == 0 ? 0.3 : 0.0;
+      loads.push_back(l);
+    }
+    ContentionParams params;
+    WorkerScratch scratch;
+    WorkerAllocation out;
+    entries.emplace_back("solve_worker16_ns", BestOfNs([&] {
+                           SolveWorkerInPlace(spec, params, loads, scratch, out);
+                           benchmark::DoNotOptimize(out.utilization.cpu);
+                         },
+                         20000, 5));
+  }
+
+  {  // Single-threaded exhaustive enumeration of Q3 (950 plans) — search nodes/s, plans/s.
+    Q3Fixture f;
+    double nodes_per_s = 0.0;
+    double plans_per_s = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      SearchOptions options;
+      options.reorder = false;
+      CapsSearch search(f.model, options);
+      SearchResult r = search.Run();
+      nodes_per_s = std::max(nodes_per_s, r.stats.nodes / r.stats.elapsed_s);
+      plans_per_s = std::max(plans_per_s, r.stats.leaves / r.stats.elapsed_s);
+    }
+    entries.emplace_back("search_nodes_per_s", nodes_per_s);
+    entries.emplace_back("search_plans_per_s", plans_per_s);
+  }
+
+  benchjson::Merge(entries);
+  return 0;
+}
+
 }  // namespace
 }  // namespace capsys
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (capsys::benchjson::Enabled()) {
+    return capsys::RunPerfJson();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Perf-regression harness plumbing shared by the bench binaries.
+//
+// When the CAPSYS_BENCH_JSON environment variable names a file, a bench binary runs its
+// hand-timed perf scenarios and merges the results into that file as a flat JSON object
+// {"scenario": number, ...}. Several binaries can append to the same file; the committed
+// baseline lives at bench/BENCH_perf.json and tools/compare_bench.py flags regressions.
+//
+// Keys encode their unit and direction: *_ns / *_ms are latencies (lower is better),
+// *_per_s are throughputs (higher is better).
+#ifndef BENCH_PERF_JSON_H_
+#define BENCH_PERF_JSON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace capsys {
+namespace benchjson {
+
+inline const char* OutputPath() { return std::getenv("CAPSYS_BENCH_JSON"); }
+
+inline bool Enabled() {
+  const char* p = OutputPath();
+  return p != nullptr && *p != '\0';
+}
+
+// Parses a flat {"key": number} object. Tolerant of whitespace/ordering; ignores anything
+// that is not a string key followed by a numeric value (we only ever read files written by
+// Write below or hand-edited baselines of the same shape).
+inline std::map<std::string, double> Load(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) {
+    return out;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) {
+      break;
+    }
+    std::string key = text.substr(pos + 1, end - pos - 1);
+    size_t colon = text.find_first_not_of(" \t\r\n", end + 1);
+    if (colon == std::string::npos || text[colon] != ':') {
+      pos = end + 1;
+      continue;
+    }
+    const char* s = text.c_str() + colon + 1;
+    char* e = nullptr;
+    double v = std::strtod(s, &e);
+    if (e != s) {
+      out[key] = v;
+      pos = static_cast<size_t>(e - text.c_str());
+    } else {
+      pos = end + 1;
+    }
+  }
+  return out;
+}
+
+inline void Write(const std::string& path, const std::map<std::string, double>& values) {
+  std::ofstream outf(path, std::ios::trunc);
+  outf << "{\n";
+  size_t i = 0;
+  for (const auto& [k, v] : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    outf << "  \"" << k << "\": " << buf << (++i < values.size() ? "," : "") << "\n";
+  }
+  outf << "}\n";
+}
+
+// Merges `entries` into the CAPSYS_BENCH_JSON file (keeping other binaries' keys) and
+// echoes them to stdout.
+inline void Merge(const std::vector<std::pair<std::string, double>>& entries) {
+  if (!Enabled()) {
+    return;
+  }
+  std::string path = OutputPath();
+  std::map<std::string, double> values = Load(path);
+  for (const auto& [k, v] : entries) {
+    values[k] = v;
+    std::printf("BENCH_perf %-32s %.6g\n", k.c_str(), v);
+  }
+  Write(path, values);
+}
+
+}  // namespace benchjson
+}  // namespace capsys
+
+#endif  // BENCH_PERF_JSON_H_

@@ -22,10 +22,30 @@ std::string SearchStats::ToString() const {
 }
 
 // Per-branch mutable search state. Copyable so subtrees can be offloaded to pool threads.
+//
+// The last four fields are *incremental* mirrors of information that older revisions
+// recomputed by scanning all workers on every inner-search node; ApplyPlacement and
+// UndoPlacement keep them exact (see DESIGN.md "Performance" for the invariants):
+//   - op_placed[o]    == sum over workers of op_count[w][o]
+//   - op_workers[o]   == the workers with op_count[w][o] > 0, in placement (stack) order
+//   - free_slots      == total slot capacity minus sum of used
+//   - num_violating   == number of workers whose load breaks the Eq. 10 bound
 struct CapsSearch::Ctx {
-  std::vector<ResourceVector> load;        // per-worker accumulated load (Eq. 5 / Eq. 8)
-  std::vector<int> used;                   // slots used per worker
-  std::vector<std::vector<int>> op_count;  // [worker][operator] tasks placed
+  std::vector<ResourceVector> load;  // per-worker accumulated load (Eq. 5 / Eq. 8)
+  std::vector<int> used;             // slots used per worker
+  // Tasks placed per (worker, operator), flattened row-major by worker so the
+  // duplicate-elimination compare walks contiguous memory.
+  std::vector<int> op_count;
+  int num_ops = 0;
+  std::vector<int> op_placed;              // total tasks placed per operator
+  std::vector<std::vector<WorkerId>> op_workers;  // workers hosting each operator
+  int free_slots = 0;
+  int num_violating = 0;
+
+  int* counts_of(WorkerId w) { return op_count.data() + static_cast<size_t>(w) * num_ops; }
+  const int* counts_of(WorkerId w) const {
+    return op_count.data() + static_cast<size_t>(w) * num_ops;
+  }
 };
 
 CapsSearch::CapsSearch(const CostModel& model, SearchOptions options)
@@ -101,6 +121,11 @@ CapsSearch::CapsSearch(const CostModel& model, SearchOptions options)
   // Group workers into spec-equivalence classes; only same-class workers are
   // interchangeable for duplicate elimination.
   const Cluster& cluster = model.cluster();
+  worker_slots_.resize(static_cast<size_t>(cluster.num_workers()));
+  for (WorkerId w = 0; w < cluster.num_workers(); ++w) {
+    worker_slots_[static_cast<size_t>(w)] = cluster.worker(w).spec.slots;
+    total_slots_ += cluster.worker(w).spec.slots;
+  }
   worker_class_.assign(static_cast<size_t>(cluster.num_workers()), 0);
   std::vector<WorkerSpec> classes;
   for (WorkerId w = 0; w < cluster.num_workers(); ++w) {
@@ -129,8 +154,12 @@ bool CapsSearch::ShouldStop() {
   if (stop_.load(std::memory_order_relaxed)) {
     return true;
   }
-  // Sample the clock occasionally.
-  if ((nodes_.load(std::memory_order_relaxed) & 0x3ff) == 0) {
+  // Sample the clock occasionally. The gate counts calls *per thread*: gating on the
+  // globally shared node counter let a thread skip the deadline check for unbounded
+  // stretches under multi-threaded search (it only saw the counter at multiples of 1024 by
+  // luck), so timeouts could fire arbitrarily late.
+  thread_local uint64_t calls = 0;
+  if ((++calls & 0x3ff) == 0) {
     double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
                          .count();
     if (elapsed > options_.timeout_s) {
@@ -142,84 +171,99 @@ bool CapsSearch::ShouldStop() {
   return false;
 }
 
+bool CapsSearch::Violates(const ResourceVector& load) const {
+  return load.cpu > bound_.cpu + kEps || load.io > bound_.io + kEps ||
+         load.net > bound_.net + kEps;
+}
+
 void CapsSearch::ApplyPlacement(Ctx& ctx, size_t layer, WorkerId w, int count) {
+  if (count == 0) {
+    return;  // no load, slot, or count changes
+  }
   OperatorId o = order_[layer];
   const ResourceVector& d = op_task_demand_[static_cast<size_t>(o)];
   const ResourceVector& scale_w = model_.WorkerScale(w);
   auto& load_w = ctx.load[static_cast<size_t>(w)];
+  bool w_violated = Violates(load_w);
   load_w.cpu += count * d.cpu * scale_w.cpu;
   load_w.io += count * d.io * scale_w.io;
   // Outbound traffic of the new tasks toward already-placed downstream operators: every
   // channel to a peer task on a different worker is remote.
   for (const auto& e : out_edges_[static_cast<size_t>(o)]) {
-    int peer_here = ctx.op_count[static_cast<size_t>(w)][static_cast<size_t>(e.peer)];
-    int peer_placed = 0;
-    for (size_t v = 0; v < ctx.op_count.size(); ++v) {
-      peer_placed += ctx.op_count[v][static_cast<size_t>(e.peer)];
-    }
+    int peer_placed = ctx.op_placed[static_cast<size_t>(e.peer)];
     if (peer_placed == 0) {
       continue;  // downstream operator not placed yet; resolved at its own layer
     }
+    int peer_here = ctx.counts_of(w)[static_cast<size_t>(e.peer)];
     load_w.net += count * e.net_share_per_peer_task * (peer_placed - peer_here) * scale_w.net;
   }
   // Inbound side: already-placed upstream tasks gain remote channels to the new tasks.
+  // Only workers actually hosting the peer are visited (ctx.op_workers).
   for (const auto& e : in_edges_[static_cast<size_t>(o)]) {
-    for (size_t v = 0; v < ctx.op_count.size(); ++v) {
-      if (static_cast<WorkerId>(v) == w) {
+    for (WorkerId v : ctx.op_workers[static_cast<size_t>(e.peer)]) {
+      if (v == w) {
         continue;  // local channels do not consume the NIC
       }
-      int peer_tasks = ctx.op_count[v][static_cast<size_t>(e.peer)];
-      if (peer_tasks > 0) {
-        ctx.load[v].net += peer_tasks * e.net_share_per_peer_task * count *
-                           model_.WorkerScale(static_cast<WorkerId>(v)).net;
-      }
+      int peer_tasks = ctx.counts_of(v)[static_cast<size_t>(e.peer)];
+      auto& load_v = ctx.load[static_cast<size_t>(v)];
+      bool v_violated = Violates(load_v);
+      load_v.net += peer_tasks * e.net_share_per_peer_task * count * model_.WorkerScale(v).net;
+      ctx.num_violating += static_cast<int>(Violates(load_v)) - static_cast<int>(v_violated);
     }
   }
+  ctx.num_violating += static_cast<int>(Violates(load_w)) - static_cast<int>(w_violated);
   ctx.used[static_cast<size_t>(w)] += count;
-  ctx.op_count[static_cast<size_t>(w)][static_cast<size_t>(o)] += count;
+  ctx.free_slots -= count;
+  int& here = ctx.counts_of(w)[static_cast<size_t>(o)];
+  if (here == 0) {
+    ctx.op_workers[static_cast<size_t>(o)].push_back(w);
+  }
+  here += count;
+  ctx.op_placed[static_cast<size_t>(o)] += count;
 }
 
 void CapsSearch::UndoPlacement(Ctx& ctx, size_t layer, WorkerId w, int count) {
+  if (count == 0) {
+    return;
+  }
   OperatorId o = order_[layer];
-  ctx.op_count[static_cast<size_t>(w)][static_cast<size_t>(o)] -= count;
+  ctx.op_placed[static_cast<size_t>(o)] -= count;
+  int& here = ctx.counts_of(w)[static_cast<size_t>(o)];
+  here -= count;
+  if (here == 0) {
+    // Apply/undo pairs nest LIFO within the operator's layer, so `w` is the most recently
+    // pushed host.
+    ctx.op_workers[static_cast<size_t>(o)].pop_back();
+  }
   ctx.used[static_cast<size_t>(w)] -= count;
+  ctx.free_slots += count;
   const ResourceVector& d = op_task_demand_[static_cast<size_t>(o)];
   const ResourceVector& scale_w = model_.WorkerScale(w);
   auto& load_w = ctx.load[static_cast<size_t>(w)];
+  bool w_violated = Violates(load_w);
   load_w.cpu -= count * d.cpu * scale_w.cpu;
   load_w.io -= count * d.io * scale_w.io;
   for (const auto& e : out_edges_[static_cast<size_t>(o)]) {
-    int peer_here = ctx.op_count[static_cast<size_t>(w)][static_cast<size_t>(e.peer)];
-    int peer_placed = 0;
-    for (size_t v = 0; v < ctx.op_count.size(); ++v) {
-      peer_placed += ctx.op_count[v][static_cast<size_t>(e.peer)];
-    }
+    int peer_placed = ctx.op_placed[static_cast<size_t>(e.peer)];
     if (peer_placed == 0) {
       continue;
     }
+    int peer_here = ctx.counts_of(w)[static_cast<size_t>(e.peer)];
     load_w.net -= count * e.net_share_per_peer_task * (peer_placed - peer_here) * scale_w.net;
   }
   for (const auto& e : in_edges_[static_cast<size_t>(o)]) {
-    for (size_t v = 0; v < ctx.op_count.size(); ++v) {
-      if (static_cast<WorkerId>(v) == w) {
+    for (WorkerId v : ctx.op_workers[static_cast<size_t>(e.peer)]) {
+      if (v == w) {
         continue;
       }
-      int peer_tasks = ctx.op_count[v][static_cast<size_t>(e.peer)];
-      if (peer_tasks > 0) {
-        ctx.load[v].net -= peer_tasks * e.net_share_per_peer_task * count *
-                           model_.WorkerScale(static_cast<WorkerId>(v)).net;
-      }
+      int peer_tasks = ctx.counts_of(v)[static_cast<size_t>(e.peer)];
+      auto& load_v = ctx.load[static_cast<size_t>(v)];
+      bool v_violated = Violates(load_v);
+      load_v.net -= peer_tasks * e.net_share_per_peer_task * count * model_.WorkerScale(v).net;
+      ctx.num_violating += static_cast<int>(Violates(load_v)) - static_cast<int>(v_violated);
     }
   }
-}
-
-bool CapsSearch::WithinBounds(const Ctx& ctx) const {
-  for (const auto& l : ctx.load) {
-    if (l.cpu > bound_.cpu + kEps || l.io > bound_.io + kEps || l.net > bound_.net + kEps) {
-      return false;
-    }
-  }
-  return true;
+  ctx.num_violating += static_cast<int>(Violates(load_w)) - static_cast<int>(w_violated);
 }
 
 void CapsSearch::PlaceOp(Ctx& ctx, size_t layer) {
@@ -230,10 +274,12 @@ void CapsSearch::PlaceOp(Ctx& ctx, size_t layer) {
     AtLeaf(ctx);
     return;
   }
-  InnerSearch(ctx, layer, 0, op_parallelism_[static_cast<size_t>(order_[layer])]);
+  int later_cap = ctx.free_slots - (worker_slots_[0] - ctx.used[0]);
+  InnerSearch(ctx, layer, 0, op_parallelism_[static_cast<size_t>(order_[layer])], later_cap);
 }
 
-void CapsSearch::InnerSearch(Ctx& ctx, size_t layer, WorkerId w, int remaining) {
+void CapsSearch::InnerSearch(Ctx& ctx, size_t layer, WorkerId w, int remaining,
+                             int later_cap) {
   nodes_.fetch_add(1, std::memory_order_relaxed);
   if (ShouldStop()) {
     return;
@@ -254,7 +300,7 @@ void CapsSearch::InnerSearch(Ctx& ctx, size_t layer, WorkerId w, int remaining) 
   }
 
   OperatorId o = order_[layer];
-  int cap = model_.cluster().worker(w).spec.slots - ctx.used[static_cast<size_t>(w)];
+  int cap = worker_slots_[static_cast<size_t>(w)] - ctx.used[static_cast<size_t>(w)];
   // Duplicate elimination: if an earlier worker has an identical task multiset (ignoring
   // the current operator), this worker may receive at most as many tasks as it did.
   int bound = remaining;
@@ -264,9 +310,9 @@ void CapsSearch::InnerSearch(Ctx& ctx, size_t layer, WorkerId w, int remaining) 
         continue;  // different hardware: not interchangeable
       }
       bool equal = true;
-      const auto& a = ctx.op_count[static_cast<size_t>(w2)];
-      const auto& b = ctx.op_count[static_cast<size_t>(w)];
-      for (size_t j = 0; j < a.size(); ++j) {
+      const int* a = ctx.counts_of(w2);
+      const int* b = ctx.counts_of(w);
+      for (size_t j = 0; j < static_cast<size_t>(ctx.num_ops); ++j) {
         if (static_cast<OperatorId>(j) != o && a[j] != b[j]) {
           equal = false;
           break;
@@ -281,77 +327,64 @@ void CapsSearch::InnerSearch(Ctx& ctx, size_t layer, WorkerId w, int remaining) 
     }
   }
   // Lower bound: remaining tasks must fit into this and later workers.
-  int later_cap = 0;
-  for (WorkerId v = w + 1; v < num_workers; ++v) {
-    later_cap += model_.cluster().worker(v).spec.slots - ctx.used[static_cast<size_t>(v)];
-  }
   int lo = std::max(0, remaining - later_cap);
   int hi = std::min({cap, remaining, bound});
   if (lo > hi) {
     return;
   }
 
+  // Tries one task count for this worker; returns false once the search should stop.
+  // Worker loads grow monotonically in c, so once a count violates the bounds every larger
+  // count does too (dead_above).
+  int dead_above = hi + 1;
+  auto try_count = [&](int c) {
+    if (c < dead_above) {
+      ApplyPlacement(ctx, layer, w, c);
+      if (c > 0 && ctx.num_violating > 0) {
+        pruned_.fetch_add(1, std::memory_order_relaxed);
+        dead_above = c;
+      } else {
+        // Free capacity of workers beyond w+1 is untouched by placements at w.
+        int next_later = w + 1 < num_workers
+                             ? later_cap - (worker_slots_[static_cast<size_t>(w) + 1] -
+                                            ctx.used[static_cast<size_t>(w) + 1])
+                             : 0;
+        InnerSearch(ctx, layer, w + 1, remaining - c, next_later);
+      }
+      UndoPlacement(ctx, layer, w, c);
+    }
+    return !stop_.load(std::memory_order_relaxed);
+  };
+
   // Value ordering: try counts closest to the proportional (balanced) share first, so the
   // first complete plan the DFS reaches is already near-balanced. This makes find-first
   // searches and time-budgeted searches anytime-good without changing the explored set.
-  std::vector<int> order;
-  order.reserve(static_cast<size_t>(hi - lo + 1));
+  // The candidate sequence is generated in place — no per-node ordering buffer.
   if (options_.value_ordering) {
     int ideal = (remaining + (num_workers - w) - 1) / (num_workers - w);
     ideal = std::clamp(ideal, lo, hi);
-    order.push_back(ideal);
+    if (!try_count(ideal)) {
+      return;
+    }
     for (int d = 1; ideal - d >= lo || ideal + d <= hi; ++d) {
-      if (ideal - d >= lo) {
-        order.push_back(ideal - d);
+      if (ideal - d >= lo && !try_count(ideal - d)) {
+        return;
       }
-      if (ideal + d <= hi) {
-        order.push_back(ideal + d);
+      if (ideal + d <= hi && !try_count(ideal + d)) {
+        return;
       }
     }
   } else {
     for (int c = lo; c <= hi; ++c) {
-      order.push_back(c);
-    }
-  }
-  // Worker loads grow monotonically in c, so once a count violates the bounds every larger
-  // count does too.
-  int dead_above = hi + 1;
-  for (int c : order) {
-    if (c >= dead_above) {
-      continue;
-    }
-    ApplyPlacement(ctx, layer, w, c);
-    if (c > 0 && !WithinBounds(ctx)) {
-      pruned_.fetch_add(1, std::memory_order_relaxed);
-      dead_above = c;
-    } else {
-      InnerSearch(ctx, layer, w + 1, remaining - c);
-    }
-    UndoPlacement(ctx, layer, w, c);
-    if (stop_.load(std::memory_order_relaxed)) {
-      return;
+      if (!try_count(c)) {
+        return;
+      }
     }
   }
 }
 
 void CapsSearch::AtLeaf(Ctx& ctx) {
   leaves_.fetch_add(1, std::memory_order_relaxed);
-  // Reconstruct the task assignment from per-worker operator counts: tasks of each
-  // operator are assigned to workers in worker-index order.
-  const PhysicalGraph& graph = model_.graph();
-  Placement plan(graph.num_tasks());
-  int num_workers = static_cast<int>(ctx.load.size());
-  for (OperatorId o = 0; o < graph.logical().num_operators(); ++o) {
-    const auto& tasks = graph.TasksOf(o);
-    size_t next = 0;
-    for (WorkerId w = 0; w < num_workers; ++w) {
-      int c = ctx.op_count[static_cast<size_t>(w)][static_cast<size_t>(o)];
-      for (int i = 0; i < c; ++i) {
-        plan.Assign(tasks[next++], w);
-      }
-    }
-    CAPSYS_CHECK(next == tasks.size());
-  }
   // Cost from the incrementally tracked loads.
   ResourceVector max_load;
   for (const auto& l : ctx.load) {
@@ -364,8 +397,35 @@ void CapsSearch::AtLeaf(Ctx& ctx) {
     cost[r] = model_.CostOfLoad(r, max_load[r]);
   }
 
+  // The task assignment is only materialized for plans the result actually retains
+  // (new best, pareto member, or collected) — most leaves are dominated and need no
+  // Placement allocation. Tasks of each operator go to workers in worker-index order.
+  Placement plan;
+  bool built = false;
+  auto build_plan = [&] {
+    if (built) {
+      return;
+    }
+    built = true;
+    const PhysicalGraph& graph = model_.graph();
+    plan = Placement(graph.num_tasks());
+    int num_workers = static_cast<int>(ctx.load.size());
+    for (OperatorId o = 0; o < graph.logical().num_operators(); ++o) {
+      const auto& tasks = graph.TasksOf(o);
+      size_t next = 0;
+      for (WorkerId w = 0; w < num_workers; ++w) {
+        int c = ctx.counts_of(w)[static_cast<size_t>(o)];
+        for (int i = 0; i < c; ++i) {
+          plan.Assign(tasks[next++], w);
+        }
+      }
+      CAPSYS_CHECK(next == tasks.size());
+    }
+  };
+
   std::lock_guard<std::mutex> lock(result_mu_);
   if (!result_.found || BetterCost(cost, result_.best.cost)) {
+    build_plan();
     result_.best = ScoredPlan{plan, cost};
   }
   result_.found = true;
@@ -384,10 +444,12 @@ void CapsSearch::AtLeaf(Ctx& ctx) {
                                         }),
                          result_.pareto.end());
     if (result_.pareto.size() < 4096) {
+      build_plan();
       result_.pareto.push_back(ScoredPlan{plan, cost});
     }
   }
   if (options_.collect_plans && result_.collected.size() < options_.max_collected) {
+    build_plan();
     result_.collected.push_back(ScoredPlan{plan, cost});
   }
   if (options_.find_first) {
@@ -405,11 +467,24 @@ SearchResult CapsSearch::Run() {
   CAPSYS_CHECK_MSG(cluster.total_slots() >= model_.graph().num_tasks(),
                    "cluster has fewer slots than tasks");
   Ctx root;
+  int num_ops = model_.graph().logical().num_operators();
   root.load.assign(static_cast<size_t>(cluster.num_workers()), ResourceVector{});
   root.used.assign(static_cast<size_t>(cluster.num_workers()), 0);
-  root.op_count.assign(
-      static_cast<size_t>(cluster.num_workers()),
-      std::vector<int>(static_cast<size_t>(model_.graph().logical().num_operators()), 0));
+  root.op_count.assign(static_cast<size_t>(cluster.num_workers()) *
+                           static_cast<size_t>(num_ops),
+                       0);
+  root.num_ops = num_ops;
+  root.op_placed.assign(static_cast<size_t>(num_ops), 0);
+  root.op_workers.assign(static_cast<size_t>(num_ops), {});
+  for (auto& hosts : root.op_workers) {
+    hosts.reserve(static_cast<size_t>(cluster.num_workers()));
+  }
+  root.free_slots = total_slots_;
+  // One full scan seeds the violation count; Apply/UndoPlacement keep it exact after.
+  root.num_violating = 0;
+  for (const auto& l : root.load) {
+    root.num_violating += static_cast<int>(Violates(l));
+  }
 
   {
     Span explore("caps.search.explore");

@@ -94,19 +94,29 @@ class CapsSearch {
   struct Ctx;
 
   void PlaceOp(Ctx& ctx, size_t layer);
-  void InnerSearch(Ctx& ctx, size_t layer, WorkerId w, int remaining);
+  // `later_cap` is the summed free slot capacity of workers > w, threaded through the
+  // recursion so no node rescans the suffix of the worker array.
+  void InnerSearch(Ctx& ctx, size_t layer, WorkerId w, int remaining, int later_cap);
   void AtLeaf(Ctx& ctx);
   bool ShouldStop();
   // Applies / reverts the load deltas of placing `count` tasks of the layer's operator on
-  // worker `w`, including resolved cross-worker network contributions.
+  // worker `w`, including resolved cross-worker network contributions. Maintains the
+  // incremental search state (per-operator placed totals, per-operator host lists, and the
+  // bound-violation count) so feasibility checks touch only the mutated workers.
   void ApplyPlacement(Ctx& ctx, size_t layer, WorkerId w, int count);
   void UndoPlacement(Ctx& ctx, size_t layer, WorkerId w, int count);
-  bool WithinBounds(const Ctx& ctx) const;
+  // True when `load` exceeds the Eq. 10 bound in any dimension.
+  bool Violates(const ResourceVector& load) const;
 
   const CostModel& model_;
   SearchOptions options_;
   std::vector<OperatorId> order_;  // outer layers
   ResourceVector bound_;           // Eq. 10 load bound
+  // Slot capacity per worker, captured once at construction. The search assumes specs do
+  // not change while it runs; snapshotting makes that explicit instead of re-reading the
+  // cluster's Worker records on every inner-search node.
+  std::vector<int> worker_slots_;
+  int total_slots_ = 0;
   // Per-operator task demand (tasks of one operator are identical).
   std::vector<ResourceVector> op_task_demand_;   // indexed by OperatorId
   std::vector<double> op_downstream_channels_;   // |D(t)| per task of op
@@ -130,7 +140,6 @@ class CapsSearch {
   std::atomic<uint64_t> leaves_{0};
   std::atomic<uint64_t> pruned_{0};
   std::atomic<bool> timed_out_{false};
-  double deadline_s_ = 1e300;
   std::chrono::steady_clock::time_point start_;
 
   std::mutex result_mu_;

@@ -12,15 +12,18 @@ constexpr double kEps = 1e-12;
 
 }  // namespace
 
-WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& params,
-                             const std::vector<TaskLoad>& loads) {
-  WorkerAllocation out;
+void SolveWorkerInPlace(const WorkerSpec& spec, const ContentionParams& params,
+                        const std::vector<TaskLoad>& loads, WorkerScratch& scratch,
+                        WorkerAllocation& out) {
   size_t n = loads.size();
-  out.rate.assign(n, 0.0);
-  out.capacity_rate.assign(n, 0.0);
+  // Every element is overwritten below, so resize (no zero-fill) is enough.
+  out.rate.resize(n);
+  out.capacity_rate.resize(n);
+  out.effective_cpu_per_record.resize(n);
+  out.utilization = ResourceVector{};
   if (n == 0) {
     out.effective_io_bandwidth = spec.io_bandwidth_bps;
-    return out;
+    return;
   }
 
   // --- Interference pre-pass -------------------------------------------------------------
@@ -40,7 +43,7 @@ WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& par
   out.effective_io_bandwidth = io_bandwidth;
 
   // GC collisions inflate the CPU cost of GC-prone tasks when several share the worker.
-  std::vector<double> cpu_per_record(n);
+  std::vector<double>& cpu_per_record = out.effective_cpu_per_record;
   for (size_t i = 0; i < n; ++i) {
     double mult = 1.0;
     if (loads[i].gc_fraction > 0.0) {
@@ -51,7 +54,8 @@ WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& par
   }
 
   // --- Standalone per-task caps (one slot == one thread) ---------------------------------
-  std::vector<double> cap(n);
+  std::vector<double>& cap = scratch.cap;
+  cap.resize(n);
   for (size_t i = 0; i < n; ++i) {
     double c = loads[i].desired_rate;
     if (cpu_per_record[i] > kEps) {
@@ -73,8 +77,10 @@ WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& par
     double capacity;
     const double* cost;  // per-record cost array (indexed like loads)
   };
-  std::vector<double> io_cost(n);
-  std::vector<double> net_cost(n);
+  std::vector<double>& io_cost = scratch.io_cost;
+  std::vector<double>& net_cost = scratch.net_cost;
+  io_cost.resize(n);
+  net_cost.resize(n);
   for (size_t i = 0; i < n; ++i) {
     io_cost[i] = loads[i].io_per_record;
     net_cost[i] = loads[i].net_per_record;
@@ -85,7 +91,8 @@ WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& par
       {spec.net_bandwidth_bps, net_cost.data()},
   };
 
-  std::vector<double> rate = cap;
+  std::vector<double>& rate = out.rate;
+  rate = cap;  // same sizes: element-wise copy, no reallocation
   double factors[3] = {1.0, 1.0, 1.0};
   for (int d = 0; d < 3; ++d) {
     double total = 0.0;
@@ -102,7 +109,6 @@ WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& par
       }
     }
   }
-  out.rate = rate;
 
   // --- Capacity rates ("true rate" under current contention) -----------------------------
   // A task demanding infinite work would get its standalone cap times the contention scale
@@ -135,7 +141,13 @@ WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& par
   out.utilization.cpu = spec.cpu_capacity > kEps ? used[0] / spec.cpu_capacity : 0.0;
   out.utilization.io = io_bandwidth > kEps ? used[1] / io_bandwidth : 0.0;
   out.utilization.net = spec.net_bandwidth_bps > kEps ? used[2] / spec.net_bandwidth_bps : 0.0;
-  out.effective_cpu_per_record = std::move(cpu_per_record);
+}
+
+WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& params,
+                             const std::vector<TaskLoad>& loads) {
+  WorkerScratch scratch;
+  WorkerAllocation out;
+  SolveWorkerInPlace(spec, params, loads, scratch, out);
   return out;
 }
 

@@ -63,10 +63,25 @@ struct WorkerAllocation {
   double effective_io_bandwidth = 0.0;
 };
 
+// Reusable scratch for SolveWorkerInPlace. Holding one per worker (or per thread) lets the
+// simulator run the contention solve every tick with zero heap allocations once the
+// vectors have grown to the worker's task count.
+struct WorkerScratch {
+  std::vector<double> cap;       // standalone per-task rate caps
+  std::vector<double> io_cost;   // per-record disk bytes (copied for contiguous access)
+  std::vector<double> net_cost;  // per-record cross-worker bytes
+};
+
 // Solves the proportional-share allocation for one worker. `loads` lists all tasks placed
 // on the worker. Runs in O(|loads|) per resource.
 WorkerAllocation SolveWorker(const WorkerSpec& spec, const ContentionParams& params,
                              const std::vector<TaskLoad>& loads);
+
+// Arena variant: identical arithmetic, but writes into `out` and `scratch`, reusing their
+// vectors instead of allocating. The per-tick hot path of FluidSimulator::Step.
+void SolveWorkerInPlace(const WorkerSpec& spec, const ContentionParams& params,
+                        const std::vector<TaskLoad>& loads, WorkerScratch& scratch,
+                        WorkerAllocation& out);
 
 }  // namespace capsys
 

@@ -66,6 +66,9 @@ FluidSimulator::FluidSimulator(const PhysicalGraph& graph, const Cluster& cluste
   worker_cpu_used_.resize(w);
   worker_io_bps_.resize(w);
   worker_net_bps_.resize(w);
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
   RebuildStatics();
 }
 
@@ -93,6 +96,64 @@ void FluidSimulator::RebuildStatics() {
     queue_capacity_[static_cast<size_t>(t.id)] =
         std::max(config_.min_queue_records, per_task_in * config_.buffer_seconds);
   }
+  // Static per-task costs (constant between calls to this function).
+  task_op_.assign(n, 0);
+  task_selectivity_.assign(n, 0.0);
+  task_io_cost_.assign(n, 0.0);
+  task_net_cost_.assign(n, 0.0);
+  task_out_cost_.assign(n, 0.0);
+  source_task_rate_.assign(n, 0.0);
+  num_source_tasks_ = 0;
+  for (const auto& t : graph_.tasks()) {
+    size_t i = static_cast<size_t>(t.id);
+    const auto& op = graph_.logical().op(t.op);
+    task_op_[i] = t.op;
+    task_selectivity_[i] = op.profile.selectivity;
+    task_io_cost_[i] = op.profile.io_bytes_per_record;
+    task_out_cost_[i] = op.profile.selectivity * op.profile.out_bytes_per_record;
+    task_net_cost_[i] = task_out_cost_[i] * remote_fraction_[i];
+    if (is_source_[i]) {
+      source_task_rate_[i] = source_rates_.at(t.op) / op.parallelism;
+      ++num_source_tasks_;
+    }
+  }
+  total_target_rate_ = 0.0;
+  for (const auto& [op, r] : source_rates_) {
+    total_target_rate_ += r;
+  }
+  // Per-worker solver arenas: everything but desired_rate is fixed until the next rebuild.
+  size_t num_workers = static_cast<size_t>(cluster_.num_workers());
+  worker_loads_.assign(num_workers, {});
+  for (size_t w = 0; w < num_workers; ++w) {
+    for (size_t i : worker_tasks_[w]) {
+      TaskLoad l;
+      const auto& prof = graph_.logical().op(task_op_[i]).profile;
+      l.task = static_cast<TaskId>(i);
+      l.cpu_per_record = prof.cpu_per_record;
+      l.io_per_record = task_io_cost_[i];
+      l.net_per_record = task_net_cost_[i];
+      l.stateful = prof.stateful;
+      l.gc_fraction = prof.gc_spike_fraction;
+      worker_loads_[w].push_back(l);
+    }
+  }
+  worker_alloc_.resize(num_workers);
+  worker_scratch_.resize(num_workers);
+  // Size the per-tick scratch once so Step() only overwrites in place.
+  desired_.assign(n, 0.0);
+  rate_cap_.assign(n, 0.0);
+  true_rate_.assign(n, 0.0);
+  eff_cpu_cost_.assign(n, 0.0);
+  eff_io_bw_.assign(num_workers, 0.0);
+  proc_raw_.assign(n, 0.0);
+  claim_total_.assign(n, 0.0);
+  accept_.assign(n, 1.0);
+  emit_factor_.assign(n, 1.0);
+  enqueue_.assign(n, 0.0);
+  processed_rate_.assign(n, 0.0);
+  op_cpu_scratch_.assign(op_cpu_used_.size(), 0.0);
+  op_io_scratch_.assign(op_cpu_used_.size(), 0.0);
+  op_net_scratch_.assign(op_cpu_used_.size(), 0.0);
 }
 
 void FluidSimulator::FailWorker(WorkerId w) {
@@ -144,54 +205,38 @@ void FluidSimulator::Step() {
   const size_t n = static_cast<size_t>(graph_.num_tasks());
 
   // --- 1. Desired processing rates -------------------------------------------------------
-  std::vector<double> desired(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    if (is_source_[i]) {
-      const auto& t = graph_.task(static_cast<TaskId>(i));
-      double target = source_rates_.at(t.op);
-      desired[i] = target / graph_.logical().op(t.op).parallelism;
-    } else {
-      desired[i] = queue_[i] / dt;
-    }
+    desired_[i] = is_source_[i] ? source_task_rate_[i] : queue_[i] / dt;
   }
 
   // --- 2. Per-worker contention solve -----------------------------------------------------
-  std::vector<double> rate_cap(n, 0.0);    // achievable processing rate this tick
-  std::vector<double> true_rate(n, 0.0);   // capacity under current contention
-  std::vector<double> eff_cpu_cost(n, 0.0);  // post-GC CPU-seconds per record
-  std::vector<double> io_cost(n, 0.0);
-  std::vector<double> net_cost(n, 0.0);   // remote share (consumes the NIC)
-  std::vector<double> out_cost(n, 0.0);   // full emitted bytes per input record
-  std::vector<double> eff_io_bw(static_cast<size_t>(cluster_.num_workers()), 0.0);
-  for (WorkerId w = 0; w < cluster_.num_workers(); ++w) {
-    const auto& idxs = worker_tasks_[static_cast<size_t>(w)];
-    std::vector<TaskLoad> loads;
-    loads.reserve(idxs.size());
-    for (size_t i : idxs) {
-      const auto& t = graph_.task(static_cast<TaskId>(i));
-      const auto& prof = graph_.logical().op(t.op).profile;
-      TaskLoad l;
-      l.task = t.id;
-      l.cpu_per_record = prof.cpu_per_record;
-      l.io_per_record = prof.io_bytes_per_record;
-      l.net_per_record = prof.selectivity * prof.out_bytes_per_record * remote_fraction_[i];
-      l.desired_rate = desired[i];
-      l.stateful = prof.stateful;
-      l.gc_fraction = prof.gc_spike_fraction;
-      loads.push_back(l);
+  // Workers are solved independently and each writes only its own allocation arena plus its
+  // own tasks' slices of the scattered arrays, so the parallel path is bit-identical to the
+  // sequential one.
+  const WorkerId num_workers = cluster_.num_workers();
+  auto solve_one = [this](WorkerId w) {
+    size_t wi = static_cast<size_t>(w);
+    const auto& idxs = worker_tasks_[wi];
+    std::vector<TaskLoad>& loads = worker_loads_[wi];
+    for (size_t k = 0; k < idxs.size(); ++k) {
+      loads[k].desired_rate = desired_[idxs[k]];
     }
-    WorkerSpec spec = cluster_.worker(w).spec;
-    if (double ckpt_bps = checkpoint_io_bps_[static_cast<size_t>(w)]; ckpt_bps > 0.0) {
+    WorkerAllocation& alloc = worker_alloc_[wi];
+    if (double ckpt_bps = checkpoint_io_bps_[wi]; ckpt_bps > 0.0) {
       // Snapshot upload competes for the disk: the tasks contend for what remains (floored
       // so a misconfigured coordinator cannot starve the worker outright).
+      WorkerSpec spec = cluster_.worker(w).spec;
       spec.io_bandwidth_bps = std::max(0.1 * spec.io_bandwidth_bps,
                                        spec.io_bandwidth_bps - ckpt_bps);
+      SolveWorkerInPlace(spec, config_.contention, loads, worker_scratch_[wi], alloc);
+    } else {
+      SolveWorkerInPlace(cluster_.worker(w).spec, config_.contention, loads,
+                         worker_scratch_[wi], alloc);
     }
-    WorkerAllocation alloc = SolveWorker(spec, config_.contention, loads);
-    if (failed_[static_cast<size_t>(w)]) {
+    if (failed_[wi]) {
       std::fill(alloc.rate.begin(), alloc.rate.end(), 0.0);
       std::fill(alloc.capacity_rate.begin(), alloc.capacity_rate.end(), 0.0);
-    } else if (double degrade = degrade_[static_cast<size_t>(w)]; degrade < 1.0) {
+    } else if (double degrade = degrade_[wi]; degrade < 1.0) {
       // Transient slowdown: the whole worker runs at a fraction of its solved capacity.
       for (double& r : alloc.rate) {
         r *= degrade;
@@ -200,70 +245,70 @@ void FluidSimulator::Step() {
         r *= degrade;
       }
     }
-    eff_io_bw[static_cast<size_t>(w)] = alloc.effective_io_bandwidth;
+    eff_io_bw_[wi] = alloc.effective_io_bandwidth;
     for (size_t k = 0; k < idxs.size(); ++k) {
-      rate_cap[idxs[k]] = alloc.rate[k];
-      true_rate[idxs[k]] = alloc.capacity_rate[k];
-      eff_cpu_cost[idxs[k]] = alloc.effective_cpu_per_record[k];
-      io_cost[idxs[k]] = loads[k].io_per_record;
-      net_cost[idxs[k]] = loads[k].net_per_record;
-      const auto& prof = graph_.logical().op(graph_.task(static_cast<TaskId>(idxs[k])).op)
-                             .profile;
-      out_cost[idxs[k]] = prof.selectivity * prof.out_bytes_per_record;
+      rate_cap_[idxs[k]] = alloc.rate[k];
+      true_rate_[idxs[k]] = alloc.capacity_rate[k];
+      eff_cpu_cost_[idxs[k]] = alloc.effective_cpu_per_record[k];
+    }
+  };
+  if (pool_ != nullptr) {
+    for (WorkerId w = 0; w < num_workers; ++w) {
+      pool_->Submit([&solve_one, w] { solve_one(w); });
+    }
+    pool_->Wait();
+  } else {
+    for (WorkerId w = 0; w < num_workers; ++w) {
+      solve_one(w);
     }
   }
 
   // --- 3. Raw processing amounts and downstream claims ------------------------------------
-  std::vector<double> proc_raw(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
     if (is_source_[i]) {
-      proc_raw[i] = std::min(rate_cap[i], desired[i]) * dt;
+      proc_raw_[i] = std::min(rate_cap_[i], desired_[i]) * dt;
     } else {
-      proc_raw[i] = std::min(queue_[i], rate_cap[i] * dt);
+      proc_raw_[i] = std::min(queue_[i], rate_cap_[i] * dt);
     }
   }
   // Free space per downstream task (conservative: no credit for this tick's drain).
-  std::vector<double> claim_total(n, 0.0);
+  claim_total_.assign(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
     const auto& downs = down_tasks_[i];
     if (downs.empty()) {
       continue;
     }
-    const auto& t = graph_.task(static_cast<TaskId>(i));
-    double out = proc_raw[i] * graph_.logical().op(t.op).profile.selectivity;
+    double out = proc_raw_[i] * task_selectivity_[i];
     double share = out / static_cast<double>(downs.size());
     for (TaskId d : downs) {
-      claim_total[static_cast<size_t>(d)] += share;
+      claim_total_[static_cast<size_t>(d)] += share;
     }
   }
-  std::vector<double> accept(n, 1.0);
   for (size_t i = 0; i < n; ++i) {
-    if (claim_total[i] > kEps) {
+    accept_[i] = 1.0;
+    if (claim_total_[i] > kEps) {
       double free = std::max(0.0, queue_capacity_[i] - queue_[i]);
-      accept[i] = std::min(1.0, free / claim_total[i]);
+      accept_[i] = std::min(1.0, free / claim_total_[i]);
     }
   }
 
   // --- 4. Emit factors: one blocked channel blocks the whole task (Flink semantics) -------
-  std::vector<double> emit_factor(n, 1.0);
   for (size_t i = 0; i < n; ++i) {
     double f = 1.0;
     for (TaskId d : down_tasks_[i]) {
-      f = std::min(f, accept[static_cast<size_t>(d)]);
+      f = std::min(f, accept_[static_cast<size_t>(d)]);
     }
-    emit_factor[i] = f;
+    emit_factor_[i] = f;
   }
 
   // --- 5. Apply transfers -----------------------------------------------------------------
-  std::vector<double> enqueue(n, 0.0);
-  std::vector<double> processed_rate(n, 0.0);
+  enqueue_.assign(n, 0.0);
   double source_emitted = 0.0;
   double sink_arrivals = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    double processed = proc_raw[i] * emit_factor[i];
-    processed_rate[i] = processed / dt;
-    const auto& t = graph_.task(static_cast<TaskId>(i));
-    const auto& op = graph_.logical().op(t.op);
+    double processed = proc_raw_[i] * emit_factor_[i];
+    processed_rate_[i] = processed / dt;
+    size_t o = static_cast<size_t>(task_op_[i]);
     if (!is_source_[i]) {
       queue_[i] -= processed;
       if (queue_[i] < 0.0) {
@@ -274,25 +319,25 @@ void FluidSimulator::Step() {
     }
     const auto& downs = down_tasks_[i];
     if (!downs.empty()) {
-      double out = processed * op.profile.selectivity;
+      double out = processed * task_selectivity_[i];
       double share = out / static_cast<double>(downs.size());
       for (TaskId d : downs) {
-        enqueue[static_cast<size_t>(d)] += share;
+        enqueue_[static_cast<size_t>(d)] += share;
       }
     }
     if (downs.empty() && !is_source_[i]) {
       sink_arrivals += processed;  // records leaving the pipeline at sinks
     }
     // Per-task metric accumulation.
-    task_true_rate_[i].Add(std::min(true_rate[i], 1e15));
+    task_true_rate_[i].Add(std::min(true_rate_[i], 1e15));
     task_observed_rate_[i].Add(processed / dt);
     // Per-operator aggregates (summed over the operator's tasks per tick).
     if (is_source_[i]) {
-      op_emit_sum_[static_cast<size_t>(t.op)] += processed / dt;
-      op_bp_sum_[static_cast<size_t>(t.op)] += 1.0 - emit_factor[i];
+      op_emit_sum_[o] += processed / dt;
+      op_bp_sum_[o] += 1.0 - emit_factor_[i];
     }
-    op_in_sum_[static_cast<size_t>(t.op)] += processed / dt;
-    op_out_sum_[static_cast<size_t>(t.op)] += processed * op.profile.selectivity / dt;
+    op_in_sum_[o] += processed / dt;
+    op_out_sum_[o] += processed * task_selectivity_[i] / dt;
   }
   for (size_t o = 0; o < op_in_rate_.size(); ++o) {
     op_in_rate_[o].Add(op_in_sum_[o]);
@@ -307,37 +352,35 @@ void FluidSimulator::Step() {
     }
   }
   for (size_t i = 0; i < n; ++i) {
-    queue_[i] = std::min(queue_[i] + enqueue[i], queue_capacity_[i] + 1.0);
+    queue_[i] = std::min(queue_[i] + enqueue_[i], queue_capacity_[i] + 1.0);
   }
 
   // --- 5b. Resource usage from the work actually performed ---------------------------------
-  {
-    std::vector<double> op_cpu(op_cpu_used_.size(), 0.0);
-    std::vector<double> op_io(op_cpu_used_.size(), 0.0);
-    std::vector<double> op_net(op_cpu_used_.size(), 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      size_t o = static_cast<size_t>(graph_.task(static_cast<TaskId>(i)).op);
-      op_cpu[o] += processed_rate[i] * eff_cpu_cost[i];
-      op_io[o] += processed_rate[i] * io_cost[i];
-      op_net[o] += processed_rate[i] * out_cost[i];  // full output bytes (observable)
-    }
-    for (size_t o = 0; o < op_cpu.size(); ++o) {
-      op_cpu_used_[o].Add(op_cpu[o]);
-      op_io_bps_[o].Add(op_io[o]);
-      op_net_bps_[o].Add(op_net[o]);
-    }
+  op_cpu_scratch_.assign(op_cpu_used_.size(), 0.0);
+  op_io_scratch_.assign(op_cpu_used_.size(), 0.0);
+  op_net_scratch_.assign(op_cpu_used_.size(), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    size_t o = static_cast<size_t>(task_op_[i]);
+    op_cpu_scratch_[o] += processed_rate_[i] * eff_cpu_cost_[i];
+    op_io_scratch_[o] += processed_rate_[i] * task_io_cost_[i];
+    op_net_scratch_[o] += processed_rate_[i] * task_out_cost_[i];  // full bytes (observable)
   }
-  for (WorkerId w = 0; w < cluster_.num_workers(); ++w) {
+  for (size_t o = 0; o < op_cpu_scratch_.size(); ++o) {
+    op_cpu_used_[o].Add(op_cpu_scratch_[o]);
+    op_io_bps_[o].Add(op_io_scratch_[o]);
+    op_net_bps_[o].Add(op_net_scratch_[o]);
+  }
+  for (WorkerId w = 0; w < num_workers; ++w) {
     const auto& spec = cluster_.worker(w).spec;
     double cpu_used = 0.0;
     double io_used = 0.0;
     double net_used = 0.0;
     for (size_t i : worker_tasks_[static_cast<size_t>(w)]) {
-      cpu_used += processed_rate[i] * eff_cpu_cost[i];
-      io_used += processed_rate[i] * io_cost[i];
-      net_used += processed_rate[i] * net_cost[i];
+      cpu_used += processed_rate_[i] * eff_cpu_cost_[i];
+      io_used += processed_rate_[i] * task_io_cost_[i];
+      net_used += processed_rate_[i] * task_net_cost_[i];
     }
-    double io_bw = eff_io_bw[static_cast<size_t>(w)];
+    double io_bw = eff_io_bw_[static_cast<size_t>(w)];
     worker_cpu_util_[static_cast<size_t>(w)].Add(
         spec.cpu_capacity > 0 ? cpu_used / spec.cpu_capacity : 0.0);
     worker_io_util_[static_cast<size_t>(w)].Add(io_bw > 0 ? io_used / io_bw : 0.0);
@@ -349,10 +392,6 @@ void FluidSimulator::Step() {
   }
 
   // --- 6. Query-level accumulators ---------------------------------------------------------
-  double total_target = 0.0;
-  for (const auto& [op, r] : source_rates_) {
-    total_target += r;
-  }
   double in_flight = 0.0;
   for (size_t i = 0; i < n; ++i) {
     in_flight += queue_[i];
@@ -360,15 +399,14 @@ void FluidSimulator::Step() {
   double emit_rate = source_emitted / dt;
   total_throughput_.Add(emit_rate);
   double bp = 0.0;
-  int num_sources = 0;
   for (size_t i = 0; i < n; ++i) {
     if (is_source_[i]) {
-      bp += 1.0 - emit_factor[i];
-      ++num_sources;
+      bp += 1.0 - emit_factor_[i];
     }
   }
-  total_backpressure_.Add(num_sources > 0 ? bp / num_sources : 0.0);
-  latency_.Add(in_flight / std::max(emit_rate, std::max(total_target * 0.01, 1.0)));
+  total_backpressure_.Add(num_source_tasks_ > 0 ? bp / num_source_tasks_ : 0.0);
+  latency_.Add(in_flight /
+               std::max(emit_rate, std::max(total_target_rate_ * 0.01, 1.0)));
   sink_rate_.Add(sink_arrivals / dt);
 
   time_s_ += dt;

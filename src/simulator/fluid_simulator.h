@@ -12,12 +12,15 @@
 #ifndef SRC_SIMULATOR_FLUID_SIMULATOR_H_
 #define SRC_SIMULATOR_FLUID_SIMULATOR_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cluster/cluster.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/dataflow/placement.h"
 #include "src/dataflow/rates.h"
 #include "src/metrics/metrics.h"
@@ -48,6 +51,11 @@ struct SimConfig {
   // Mean source backpressure at flush time at/above which a BackpressureOnset event is
   // emitted (and below which a following BackpressureCleared is).
   double backpressure_onset_threshold = 0.5;
+  // Threads for the per-worker contention solve (stage 2 of Step). Workers are solved
+  // independently and each writes only its own slice of the per-task arrays, so any thread
+  // count produces bit-identical results; 1 runs inline and is the zero-heap-allocation
+  // steady-state mode (the pool hand-off itself allocates).
+  int num_threads = 1;
   ContentionParams contention;
 };
 
@@ -159,7 +167,7 @@ class FluidSimulator {
   // Per-task dynamic state.
   std::vector<double> queue_;           // records waiting
   std::vector<double> queue_capacity_;  // records
-  std::vector<bool> is_source_;
+  std::vector<uint8_t> is_source_;      // byte-sized: read in every per-task tick loop
   std::vector<bool> failed_;            // per worker
   std::vector<double> degrade_;         // per worker capacity factor, 1.0 = healthy
   std::vector<double> checkpoint_io_bps_;  // per worker snapshot-upload traffic
@@ -171,6 +179,41 @@ class FluidSimulator {
   std::vector<std::vector<TaskId>> down_tasks_;  // distinct downstream tasks (via channels)
   std::vector<double> remote_fraction_;          // |Dr|/|D| under placement_
   std::vector<std::vector<size_t>> worker_tasks_;  // task indices per worker
+
+  // Static per-task costs, rebuilt by RebuildStatics(). Step() reads these arrays instead
+  // of chasing graph_.logical().op(...) records every tick.
+  std::vector<OperatorId> task_op_;
+  std::vector<double> task_selectivity_;
+  std::vector<double> task_io_cost_;    // state bytes per processed record
+  std::vector<double> task_net_cost_;   // cross-worker bytes per record under placement_
+  std::vector<double> task_out_cost_;   // full emitted bytes per record
+  std::vector<double> source_task_rate_;  // per-task target rate; 0 for non-source tasks
+  double total_target_rate_ = 0.0;        // sum of source_rates_
+  int num_source_tasks_ = 0;
+
+  // Per-worker solver arenas: loads_ carries the static TaskLoad fields (only desired_rate
+  // changes per tick); alloc_/scratch_ are reused by SolveWorkerInPlace. Together with the
+  // per-tick scratch below, a warmed Step() performs no heap allocation.
+  std::vector<std::vector<TaskLoad>> worker_loads_;
+  std::vector<WorkerAllocation> worker_alloc_;
+  std::vector<WorkerScratch> worker_scratch_;
+  std::unique_ptr<ThreadPool> pool_;  // created only when config_.num_threads > 1
+
+  // Per-tick scratch, sized once in RebuildStatics().
+  std::vector<double> desired_;
+  std::vector<double> rate_cap_;       // achievable processing rate this tick
+  std::vector<double> true_rate_;      // capacity under current contention
+  std::vector<double> eff_cpu_cost_;   // post-GC CPU-seconds per record
+  std::vector<double> eff_io_bw_;      // per worker
+  std::vector<double> proc_raw_;
+  std::vector<double> claim_total_;
+  std::vector<double> accept_;
+  std::vector<double> emit_factor_;
+  std::vector<double> enqueue_;
+  std::vector<double> processed_rate_;
+  std::vector<double> op_cpu_scratch_;
+  std::vector<double> op_io_scratch_;
+  std::vector<double> op_net_scratch_;
 
   // Metric accumulators between flushes.
   struct Accum {

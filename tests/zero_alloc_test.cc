@@ -1,0 +1,93 @@
+// Asserts the steady-state simulator tick performs no heap allocation.
+//
+// The global operator new/new[] are replaced with counting versions. After a warmup that
+// grows every arena to its final size, a window of Step() calls must not allocate at all —
+// this is the enforcement half of the "arena-based simulator ticks" refactor, so an
+// accidental per-tick std::vector cannot creep back in unnoticed.
+//
+// Not registered in the sanitizer CI jobs: ASan/TSan interpose their own allocators.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "src/caps/cost_model.h"
+#include "src/caps/greedy.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+#include "src/simulator/fluid_simulator.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<uint64_t> g_allocs{0};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace capsys {
+namespace {
+
+uint64_t CountAllocsDuringSteps(FluidSimulator& sim, int steps) {
+  g_allocs.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < steps; ++i) {
+    sim.Step();
+  }
+  g_counting.store(false);
+  return g_allocs.load();
+}
+
+TEST(ZeroAllocTest, SteadyStateStepDoesNotAllocate) {
+  QuerySpec q = BuildQ3Inf();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  CostModel model(graph, cluster, TaskDemands(graph, PropagateRates(q.graph, q.source_rates)));
+  SimConfig cfg;
+  cfg.metrics_interval_s = 1e18;  // flushing allocates metric records; keep it out of scope
+  FluidSimulator sim(graph, cluster, GreedyBalancedPlacement(model), cfg);
+  sim.SetAllSourceRates(q.TotalTargetRate());
+  // Warm: queues fill, every scratch vector and solver arena reaches its final size.
+  for (int i = 0; i < 1000; ++i) {
+    sim.Step();
+  }
+  EXPECT_EQ(CountAllocsDuringSteps(sim, 1000), 0u);
+}
+
+// Backpressure (full queues, emit throttling) exercises the remaining tick branches; they
+// must be allocation-free too. Q2's rates saturate the cluster.
+TEST(ZeroAllocTest, BackpressuredStepDoesNotAllocate) {
+  QuerySpec q = BuildQ2Join();
+  PhysicalGraph graph = PhysicalGraph::Expand(q.graph);
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  CostModel model(graph, cluster, TaskDemands(graph, PropagateRates(q.graph, q.source_rates)));
+  SimConfig cfg;
+  cfg.metrics_interval_s = 1e18;
+  FluidSimulator sim(graph, cluster, GreedyBalancedPlacement(model), cfg);
+  sim.SetAllSourceRates(q.TotalTargetRate());
+  for (int i = 0; i < 1000; ++i) {
+    sim.Step();
+  }
+  EXPECT_EQ(CountAllocsDuringSteps(sim, 1000), 0u);
+}
+
+}  // namespace
+}  // namespace capsys

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare a freshly measured BENCH_perf.json against the committed baseline.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--tolerance FRAC]
+
+Keys encode direction: *_ns / *_ms are latencies (regression = current slower than
+baseline by more than the tolerance), *_per_s are throughputs (regression = current
+slower, i.e. lower). Keys present in only one file are reported but never fatal, so
+adding a scenario does not break the perf-smoke job on the first run.
+
+Exits 1 if any shared scenario regressed beyond the tolerance (default 25%).
+"""
+
+import argparse
+import json
+import sys
+
+
+def lower_is_better(key: str) -> bool:
+    if key.endswith("_per_s"):  # throughput, despite the _s suffix
+        return False
+    return key.endswith("_ns") or key.endswith("_ms") or key.endswith("_s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    regressions = []
+    for key in sorted(set(baseline) | set(current)):
+        if key not in baseline:
+            print(f"  NEW      {key:32s} {current[key]:.6g} (no baseline)")
+            continue
+        if key not in current:
+            print(f"  MISSING  {key:32s} baseline {baseline[key]:.6g}, not measured")
+            continue
+        base, cur = float(baseline[key]), float(current[key])
+        if base <= 0:
+            print(f"  SKIP     {key:32s} non-positive baseline {base:.6g}")
+            continue
+        # Signed regression fraction: positive = worse than baseline.
+        if lower_is_better(key):
+            frac = cur / base - 1.0
+        else:
+            frac = base / cur - 1.0 if cur > 0 else float("inf")
+        status = "OK"
+        if frac > args.tolerance:
+            status = "REGRESSED"
+            regressions.append(key)
+        elif frac < -args.tolerance:
+            status = "IMPROVED"
+        print(f"  {status:8s} {key:32s} baseline {base:.6g}  current {cur:.6g}  "
+              f"({frac:+.1%})")
+
+    if regressions:
+        print(f"\n{len(regressions)} scenario(s) regressed beyond "
+              f"{args.tolerance:.0%}: {', '.join(regressions)}")
+        return 1
+    print("\nNo perf regressions beyond tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
