@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/common/logging.h"
 #include "src/common/str.h"
 #include "src/controller/chaos_experiments.h"
 #include "src/nexmark/queries.h"
@@ -45,6 +46,7 @@ FaultSchedule BuildSchedule() {
 }
 
 int Main() {
+  InitLoggingFromEnv();
   Cluster cluster(6, WorkerSpec::R5dXlarge(4));
   QuerySpec q = BuildQ1Sliding();
   // Saturate the 6-worker cluster so DS2 sizes the query wide: losing three workers then

@@ -10,6 +10,7 @@
 // interval for a fixed state size, and with state size for a fixed interval (restore term).
 #include <cstdio>
 
+#include "src/common/logging.h"
 #include "src/common/str.h"
 #include "src/controller/chaos_experiments.h"
 #include "src/nexmark/queries.h"
@@ -18,6 +19,7 @@ namespace capsys {
 namespace {
 
 int Main() {
+  InitLoggingFromEnv();
   Cluster cluster(4, WorkerSpec::R5dXlarge(4));
   QuerySpec q = BuildQ1Sliding();
 

@@ -5,6 +5,7 @@
 // creating hotspots, while the baselines frequently stack them.
 #include <cstdio>
 
+#include "src/common/logging.h"
 #include "src/common/str.h"
 #include "src/controller/failure_experiments.h"
 #include "src/nexmark/queries.h"
@@ -13,6 +14,7 @@ namespace capsys {
 namespace {
 
 int Main() {
+  InitLoggingFromEnv();
   // 6 workers so the survivors can absorb the victim's tasks.
   Cluster cluster(6, WorkerSpec::R5dXlarge(4));
   QuerySpec q = BuildQ1Sliding();

@@ -20,6 +20,7 @@
 #include "src/caps/auto_tuner.h"
 #include "src/caps/cost_model.h"
 #include "src/caps/search.h"
+#include "src/common/logging.h"
 #include "src/dataflow/rates.h"
 #include "src/nexmark/queries.h"
 
@@ -82,6 +83,7 @@ int RunPerfJson() {
 }
 
 int Main() {
+  InitLoggingFromEnv();
   if (benchjson::Enabled()) {
     return RunPerfJson();
   }

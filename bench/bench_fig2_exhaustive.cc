@@ -12,6 +12,7 @@
 
 #include "src/caps/cost_model.h"
 #include "src/caps/search.h"
+#include "src/common/logging.h"
 #include "src/common/str.h"
 #include "src/dataflow/rates.h"
 #include "src/nexmark/queries.h"
@@ -29,6 +30,7 @@ struct PlanResult {
 };
 
 int Main() {
+  InitLoggingFromEnv();
   QuerySpec q = BuildQ1Sliding();
   Cluster cluster(4, WorkerSpec::R5dXlarge(4));
   PhysicalGraph graph = PhysicalGraph::Expand(q.graph);

@@ -18,6 +18,7 @@
 
 #include "src/caps/cost_model.h"
 #include "src/caps/search.h"
+#include "src/common/logging.h"
 #include "src/dataflow/rates.h"
 #include "src/nexmark/queries.h"
 #include "src/simulator/fluid_simulator.h"
@@ -110,6 +111,7 @@ void RunExperiment(const char* title, const QuerySpec& q, const Cluster& cluster
 }
 
 int Main() {
+  InitLoggingFromEnv();
   std::printf("=== Figure 3: co-locating resource-intensive tasks ===\n\n");
 
   // (a) Compute contention: Q3-inf, inference operator (OperatorId 2).

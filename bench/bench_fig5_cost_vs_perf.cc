@@ -12,6 +12,7 @@
 
 #include "src/caps/cost_model.h"
 #include "src/caps/search.h"
+#include "src/common/logging.h"
 #include "src/dataflow/rates.h"
 #include "src/nexmark/queries.h"
 #include "src/simulator/fluid_simulator.h"
@@ -38,6 +39,7 @@ double Pearson(const std::vector<double>& x, const std::vector<double>& y) {
 }
 
 int Main() {
+  InitLoggingFromEnv();
   QuerySpec q = BuildQ1Sliding();
   Cluster cluster(4, WorkerSpec::R5dXlarge(4));
   PhysicalGraph graph = PhysicalGraph::Expand(q.graph);

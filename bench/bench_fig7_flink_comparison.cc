@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/controller/deployment.h"
 #include "src/nexmark/queries.h"
@@ -33,6 +34,7 @@ constexpr double kRateScale = 2.0;
 constexpr int kRuns = 10;
 
 int Main() {
+  InitLoggingFromEnv();
   Cluster cluster(4, WorkerSpec::M5d2xlarge(8));
   const char* telemetry_dir = std::getenv("CAPSYS_TELEMETRY_DIR");
   MetricsRegistry last_metrics;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/baselines/flink_strategies.h"
+#include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/controller/deployment.h"
 #include "src/dataflow/rates.h"
@@ -56,6 +57,7 @@ MergedWorkload BuildWorkload() {
 }
 
 int Main() {
+  InitLoggingFromEnv();
   Cluster cluster(18, WorkerSpec::M5d2xlarge(8));
   std::printf("=== Figure 8: multi-tenant workload, all six queries on %s ===\n\n",
               cluster.ToString().c_str());

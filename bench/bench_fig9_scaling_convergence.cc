@@ -11,12 +11,14 @@
 // up to 8 additional scaling decisions, occupying up to four extra slots.
 #include <cstdio>
 
+#include "src/common/logging.h"
 #include "src/controller/scaling_experiments.h"
 
 namespace capsys {
 namespace {
 
 int Main() {
+  InitLoggingFromEnv();
   Cluster cluster(8, WorkerSpec::R5dXlarge(8));
   QuerySpec q = BuildQ3Inf();
   double low = 800.0;

@@ -14,6 +14,7 @@
 #include "src/caps/greedy.h"
 #include "src/caps/search.h"
 #include "src/baselines/flink_strategies.h"
+#include "src/common/logging.h"
 #include "src/dataflow/rates.h"
 #include "src/nexmark/queries.h"
 #include "src/simulator/fluid_simulator.h"
@@ -31,6 +32,7 @@ Placement SolveWith(const CostModel& model) {
 }
 
 int Main() {
+  InitLoggingFromEnv();
   std::vector<WorkerSpec> specs = {WorkerSpec::M5d2xlarge(8), WorkerSpec::M5d2xlarge(8),
                                    WorkerSpec::R5dXlarge(4), WorkerSpec::R5dXlarge(4),
                                    WorkerSpec::R5dXlarge(4), WorkerSpec::R5dXlarge(4)};

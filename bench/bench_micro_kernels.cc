@@ -10,6 +10,7 @@
 #include "src/caps/cost_model.h"
 #include "src/caps/greedy.h"
 #include "src/caps/search.h"
+#include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/dataflow/rates.h"
 #include "src/nexmark/queries.h"
@@ -215,6 +216,7 @@ int RunPerfJson() {
 }  // namespace capsys
 
 int main(int argc, char** argv) {
+  capsys::InitLoggingFromEnv();
   if (capsys::benchjson::Enabled()) {
     return capsys::RunPerfJson();
   }

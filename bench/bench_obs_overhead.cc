@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/controller/deployment.h"
 #include "src/nexmark/queries.h"
 #include "src/obs/events.h"
@@ -52,6 +53,7 @@ double MedianSeconds(int reps, double* sink) {
 }
 
 int Main() {
+  InitLoggingFromEnv();
   constexpr int kReps = 5;
   double sink = 0.0;
 

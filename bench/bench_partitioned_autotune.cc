@@ -11,6 +11,7 @@
 #include "src/caps/cost_model.h"
 #include "src/caps/partitioned.h"
 #include "src/caps/search.h"
+#include "src/common/logging.h"
 #include "src/dataflow/rates.h"
 #include "src/nexmark/queries.h"
 
@@ -46,6 +47,7 @@ double MaxCost(const CostModel& model, const Placement& plan) {
 }
 
 int Main() {
+  InitLoggingFromEnv();
   std::printf("=== Partitioned CAPS (future-work extension): Q2-join at scale ===\n\n");
   std::printf("%-8s %-14s %-12s %-12s %-14s\n", "tasks", "method", "time (s)", "max-cost",
               "feasible");

@@ -17,6 +17,7 @@
 #include "src/caps/cost_model.h"
 #include "src/caps/placement_groups.h"
 #include "src/caps/search.h"
+#include "src/common/logging.h"
 #include "src/dataflow/rates.h"
 #include "src/nexmark/queries.h"
 #include "src/simulator/fluid_simulator.h"
@@ -25,6 +26,7 @@ namespace capsys {
 namespace {
 
 int Main() {
+  InitLoggingFromEnv();
   QuerySpec base = BuildQ1Sliding();
   Cluster cluster(4, WorkerSpec::R5dXlarge(4));
 

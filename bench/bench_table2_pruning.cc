@@ -12,6 +12,7 @@
 
 #include "src/caps/cost_model.h"
 #include "src/caps/search.h"
+#include "src/common/logging.h"
 #include "src/common/str.h"
 #include "src/dataflow/rates.h"
 #include "src/nexmark/queries.h"
@@ -20,6 +21,7 @@ namespace capsys {
 namespace {
 
 int Main() {
+  InitLoggingFromEnv();
   QuerySpec q = BuildQ3Inf();
   Cluster cluster(8, WorkerSpec::R5dXlarge(4));
   PhysicalGraph graph = PhysicalGraph::Expand(q.graph);

@@ -12,6 +12,7 @@
 // optimality was cut short — the orders-of-magnitude decision-time gap is structural.
 #include <cstdio>
 
+#include "src/common/logging.h"
 #include "src/common/str.h"
 #include "src/controller/deployment.h"
 #include "src/dataflow/rates.h"
@@ -52,6 +53,7 @@ Row Evaluate(const char* name, const LogicalGraph& graph, const Placement& place
 }
 
 int Main() {
+  InitLoggingFromEnv();
   Cluster cluster(4, WorkerSpec::C5d4xlarge(8));
   QuerySpec q = BuildQ3Inf();
   // The c5d.4xlarge cluster has 4x the r5d CPU; scale the target accordingly (the paper

@@ -12,12 +12,14 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/controller/scaling_experiments.h"
 
 namespace capsys {
 namespace {
 
 int Main() {
+  InitLoggingFromEnv();
   Cluster cluster(8, WorkerSpec::R5dXlarge(8));
   QuerySpec q = BuildQ3Inf();
   double base = 720.0;  // paper's initial target rate

@@ -18,6 +18,7 @@ void ThresholdCache::Precompute(const LogicalGraph& graph,
                                 const Cluster& cluster,
                                 const std::vector<std::vector<int>>& scenarios,
                                 const AutoTuneOptions& options, int num_threads) {
+  Revalidate(cluster);  // never mix entries tuned against different capacity shapes
   std::mutex mu;
   ThreadPool pool(std::max(1, num_threads));
   for (const auto& scenario : scenarios) {
@@ -57,6 +58,36 @@ std::optional<ResourceVector> ThresholdCache::Lookup(const std::vector<int>& par
 
 void ThresholdCache::Insert(const std::vector<int>& parallelism, const ResourceVector& alpha) {
   entries_[parallelism] = alpha;
+}
+
+void ThresholdCache::Clear() {
+  entries_.clear();
+  cluster_signature_.clear();
+}
+
+bool ThresholdCache::Revalidate(const Cluster& cluster) {
+  std::string signature = ClusterSignature(cluster);
+  if (cluster_signature_.empty()) {  // unbound: manual Inserts / fresh cache
+    cluster_signature_ = std::move(signature);
+    return true;
+  }
+  if (signature == cluster_signature_) {
+    return true;
+  }
+  CAPSYS_LOG_INFO("threshold_cache",
+                  Sprintf("capacity shape changed, evicting %zu entries", entries_.size()));
+  entries_.clear();
+  cluster_signature_ = std::move(signature);
+  return false;
+}
+
+std::string ThresholdCache::ClusterSignature(const Cluster& cluster) {
+  std::string out;
+  for (const Worker& w : cluster.workers()) {
+    out += Sprintf("%d/%.6g/%.6g/%.6g ", w.spec.slots, w.spec.cpu_capacity,
+                   w.spec.io_bandwidth_bps, w.spec.net_bandwidth_bps);
+  }
+  return out;
 }
 
 std::string ThresholdCache::Serialize() const {

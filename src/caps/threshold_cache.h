@@ -33,6 +33,19 @@ class ThresholdCache {
 
   void Insert(const std::vector<int>& parallelism, const ResourceVector& alpha);
   size_t size() const { return entries_.size(); }
+  void Clear();
+
+  // Entries are valid only for the capacity shape they were tuned against: thresholds are
+  // load fractions of worker capacity, so adding/removing workers or changing a spec makes
+  // every cached alpha stale, while transient slot occupancy (reservations, epoch bumps
+  // from commits) does not. Precompute records the cluster's signature; Revalidate drops
+  // all entries when called with a cluster whose signature differs (and rebinds to it).
+  // Returns true when the existing entries were kept.
+  bool Revalidate(const Cluster& cluster);
+  const std::string& cluster_signature() const { return cluster_signature_; }
+
+  // Canonical capacity-shape signature: per-worker "slots/cpu/io/net", occupancy excluded.
+  static std::string ClusterSignature(const Cluster& cluster);
 
   // Plain-text persistence: one line per entry, "p1,p2,...,pk alpha_cpu alpha_io alpha_net".
   std::string Serialize() const;
@@ -41,6 +54,7 @@ class ThresholdCache {
 
  private:
   std::map<std::vector<int>, ResourceVector> entries_;
+  std::string cluster_signature_;
 };
 
 // Enumerates plausible DS2 scaling scenarios for `graph`: for every total rate in

@@ -72,6 +72,8 @@ int ThisThreadId() {
 
 }  // namespace
 
+void InitLoggingFromEnv() { EnsureEnvApplied(); }
+
 void SetLogLevel(LogLevel level) {
   EnsureEnvApplied();  // an explicit call must win over the environment, not race with it
   g_level.store(static_cast<int>(level));

@@ -14,6 +14,12 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// Applies CAPSYS_LOG_LEVEL now. Every logging call applies it lazily on first use anyway;
+// calling this at the top of main() makes the ordering explicit (the env wins over the
+// default even if the first log statement races process startup) and is what the bench
+// binaries do.
+void InitLoggingFromEnv();
+
 // Emits one log line "L HH:MM:SS.mmm [tN] <module>: <msg>" if `level` >= the global level,
 // where HH:MM:SS.mmm is local wall-clock time and tN a stable per-thread logical id.
 void LogMessage(LogLevel level, const std::string& module, const std::string& msg);

@@ -44,6 +44,10 @@ const char* EventTypeName(EventType type) {
       return "RestoreStarted";
     case EventType::kRestoreCompleted:
       return "RestoreCompleted";
+    case EventType::kJobStateChanged:
+      return "JobStateChanged";
+    case EventType::kAdmissionDecision:
+      return "AdmissionDecision";
   }
   return "?";
 }
@@ -300,6 +304,34 @@ void EmitRestoreCompleted(double time_s, uint64_t checkpoint_id, double downtime
   e.fields = {{"checkpoint_id", Sprintf("%llu", static_cast<unsigned long long>(checkpoint_id))},
               {"downtime_s", Num(downtime_s)},
               {"replayed_records", Num(replayed_records)}};
+  log.Emit(std::move(e));
+}
+
+void EmitJobStateChanged(double time_s, int64_t job, const std::string& from,
+                         const std::string& to, const std::string& detail) {
+  EventLog& log = EventLog::Global();
+  if (!log.enabled()) {
+    return;
+  }
+  Event e{EventType::kJobStateChanged, time_s, {}};
+  e.fields = {{"job", Sprintf("%lld", static_cast<long long>(job))},
+              {"from", from},
+              {"to", to},
+              {"detail", detail}};
+  log.Emit(std::move(e));
+}
+
+void EmitAdmissionDecision(double time_s, int64_t job, const std::string& verdict, int tasks,
+                           int free_slots) {
+  EventLog& log = EventLog::Global();
+  if (!log.enabled()) {
+    return;
+  }
+  Event e{EventType::kAdmissionDecision, time_s, {}};
+  e.fields = {{"job", Sprintf("%lld", static_cast<long long>(job))},
+              {"verdict", verdict},
+              {"tasks", Sprintf("%d", tasks)},
+              {"free_slots", Sprintf("%d", free_slots)}};
   log.Emit(std::move(e));
 }
 

@@ -39,6 +39,8 @@ enum class EventType : int {
   kCheckpointExpired,      // the checkpoint outlived its timeout and was discarded
   kRestoreStarted,         // recovery began restoring from a completed checkpoint
   kRestoreCompleted,       // restore + source replay finished; the job is live again
+  kJobStateChanged,        // the placement service moved a job between lifecycle states
+  kAdmissionDecision,      // the placement service admitted / queued / rejected a job
 };
 
 const char* EventTypeName(EventType type);
@@ -111,6 +113,10 @@ void EmitCheckpointExpired(double time_s, uint64_t checkpoint_id, double timeout
 void EmitRestoreStarted(double time_s, uint64_t checkpoint_id, uint64_t restored_bytes);
 void EmitRestoreCompleted(double time_s, uint64_t checkpoint_id, double downtime_s,
                           double replayed_records);
+void EmitJobStateChanged(double time_s, int64_t job, const std::string& from,
+                         const std::string& to, const std::string& detail);
+void EmitAdmissionDecision(double time_s, int64_t job, const std::string& verdict, int tasks,
+                           int free_slots);
 
 }  // namespace capsys
 

@@ -1,0 +1,54 @@
+#include "src/scheduler/job.h"
+
+#include "src/common/str.h"
+
+namespace capsys {
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kSubmitted:
+      return "submitted";
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kPlanning:
+      return "planning";
+    case JobState::kDeploying:
+      return "deploying";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kRescaling:
+      return "rescaling";
+    case JobState::kRecovering:
+      return "recovering";
+    case JobState::kTerminated:
+      return "terminated";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kQueuedCapacity:
+      return "queued_capacity";
+    case AdmissionOutcome::kRejectedCapacity:
+      return "rejected_capacity";
+    case AdmissionOutcome::kRejectedInvalid:
+      return "rejected_invalid";
+  }
+  return "?";
+}
+
+std::string JobStatus::ToString() const {
+  return Sprintf("job %lld '%s' %s (%s) tasks=%d attempts=%d conflicts=%d recoveries=%d "
+                 "latency=%.3fs%s%s %s",
+                 static_cast<long long>(id), name.c_str(), JobStateName(state),
+                 AdmissionOutcomeName(admission), tasks, plan_attempts, commit_conflicts,
+                 recoveries, decision_latency_s, degraded ? " degraded" : "",
+                 plan_from_cache ? " cached-plan" : "", detail.c_str());
+}
+
+}  // namespace capsys

@@ -1,0 +1,847 @@
+#include "src/scheduler/placement_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "src/caps/greedy.h"
+#include "src/caps/search.h"
+#include "src/checkpoint/recovery_model.h"
+#include "src/common/logging.h"
+#include "src/common/str.h"
+#include "src/dataflow/rates.h"
+#include "src/obs/events.h"
+#include "src/obs/trace.h"
+
+namespace capsys {
+
+namespace {
+
+// Predicted bottleneck utilization of a plan (same scalarization the batch controller uses
+// to pick among pareto-optimal plans; see controller/deployment.cc).
+double MaxUtilization(const CostModel& model, const Cluster& cluster, const Placement& plan) {
+  auto loads = model.WorkerLoads(plan);
+  double worst = 0.0;
+  for (WorkerId w = 0; w < cluster.num_workers(); ++w) {
+    const auto& spec = cluster.worker(w).spec;
+    const auto& l = loads[static_cast<size_t>(w)];
+    worst = std::max({worst, l.cpu / std::max(1e-12, spec.cpu_capacity),
+                      l.io / std::max(1e-12, spec.io_bandwidth_bps),
+                      l.net / std::max(1e-12, spec.net_bandwidth_bps)});
+  }
+  return worst;
+}
+
+SlotReservation ReservationFromPlacement(const Placement& plan, int num_workers) {
+  SlotReservation counts(static_cast<size_t>(num_workers), 0);
+  for (TaskId t = 0; t < plan.num_tasks(); ++t) {
+    ++counts[static_cast<size_t>(plan.WorkerOf(t))];
+  }
+  return counts;
+}
+
+// Shrinks parallelism until the graph fits `free_slots` total slots, leaving operators
+// that touch forward edges untouched (CAPS requires forward endpoints at parallelism 1,
+// so they are already minimal). Largest operator first, so degradation spreads evenly.
+// Returns false when even the floor does not fit.
+bool DownscaleToFit(LogicalGraph& graph, int free_slots, int* reductions) {
+  std::vector<bool> scalable(static_cast<size_t>(graph.num_operators()), true);
+  for (const auto& e : graph.edges()) {
+    if (e.scheme == PartitionScheme::kForward) {
+      scalable[static_cast<size_t>(e.from)] = false;
+      scalable[static_cast<size_t>(e.to)] = false;
+    }
+  }
+  while (graph.total_parallelism() > free_slots) {
+    OperatorId widest = kInvalidId;
+    int widest_p = 1;
+    for (const auto& op : graph.operators()) {
+      if (scalable[static_cast<size_t>(op.id)] && op.parallelism > widest_p) {
+        widest = op.id;
+        widest_p = op.parallelism;
+      }
+    }
+    if (widest == kInvalidId) {
+      return false;  // everything at the floor and it still does not fit
+    }
+    graph.SetParallelism(widest, widest_p - 1);
+    ++(*reductions);
+  }
+  return true;
+}
+
+}  // namespace
+
+// One queue entry. Client calls and planner completions use the same queue, so every job
+// mutation is serialized through the dispatcher.
+struct PlacementService::EventItem {
+  enum class Kind : int {
+    kSubmit = 0,
+    kCancel,
+    kRescale,
+    kWorkerDead,
+    kWorkerRestored,
+    kPlanCommitted,
+    kPlanFailed,
+  };
+  Kind kind = Kind::kSubmit;
+  JobId job = kInvalidJobId;
+  WorkerId worker = kInvalidId;
+  std::vector<int> parallelism;               // kRescale
+  std::unique_ptr<PlanOutcome> plan;          // kPlanCommitted / kPlanFailed
+};
+
+// Everything a planner produced, posted back to the dispatcher.
+struct PlacementService::PlanOutcome {
+  enum class Fail : int { kNone = 0, kNoCapacity, kCancelled };
+  Fail fail = Fail::kNone;
+  Placement placement;
+  SlotReservation reservation;
+  std::vector<int> parallelism;
+  ResourceVector alpha;
+  ResourceVector plan_cost;
+  bool from_cache = false;
+  bool degraded = false;
+  bool recovering = false;
+  int attempts = 0;
+  int conflicts = 0;
+  int downscale_steps = 0;
+  double planning_time_s = 0.0;
+  CommitResult commit = CommitResult::kCommitted;
+};
+
+// Immutable inputs a planner task works from (copied at spawn time so the dispatcher can
+// keep mutating the job record without racing the planner).
+struct PlacementService::PlanRequest {
+  JobId job = kInvalidJobId;
+  LogicalGraph graph;
+  std::map<OperatorId, double> source_rates;
+  bool recovering = false;
+  bool allow_degraded = false;
+  std::atomic<bool>* cancelled = nullptr;  // owned by the JobRecord, never destroyed early
+};
+
+struct PlacementService::JobRecord {
+  JobId id = kInvalidJobId;
+  JobSpec spec;
+  LogicalGraph graph;  // current (possibly rescaled/degraded) parallelism
+  JobState state = JobState::kSubmitted;
+  AdmissionOutcome admission = AdmissionOutcome::kAdmitted;
+  ResourceVector demand;
+  bool demand_accounted = false;  // counted in admitted_demand_
+  int tasks = 0;
+  std::atomic<bool> cancelled{false};
+  JobStatus status;  // placement/alpha/cost + counters; state fields mirrored on read
+};
+
+std::string SchedulerStats::ToString() const {
+  return Sprintf(
+      "submitted=%llu admitted=%llu queued=%llu rejected=%llu cancelled=%llu "
+      "plans=%llu cached=%llu conflicts=%llu stale=%llu recoveries=%llu downscales=%llu "
+      "cache=%llu/%llu epoch=%llu",
+      static_cast<unsigned long long>(submitted), static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(queued), static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(plans_committed),
+      static_cast<unsigned long long>(plans_from_cache),
+      static_cast<unsigned long long>(commit_conflicts),
+      static_cast<unsigned long long>(stale_commits),
+      static_cast<unsigned long long>(recoveries),
+      static_cast<unsigned long long>(downscales), static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), static_cast<unsigned long long>(epoch));
+}
+
+PlacementService::PlacementService(Cluster cluster, SchedulerOptions options)
+    : cluster_(std::move(cluster)),
+      options_(options),
+      view_(cluster_),
+      cache_(options.plan_cache_capacity),
+      planner_pool_(std::make_unique<ThreadPool>(std::max(1, options.planner_threads))),
+      start_(std::chrono::steady_clock::now()) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+PlacementService::~PlacementService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  // Let in-flight planners finish and post their results (they only enqueue; they never
+  // wait on the dispatcher), then drain the queue and stop.
+  planner_pool_->Wait();
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+  planner_pool_.reset();
+}
+
+double PlacementService::NowS() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+void PlacementService::Enqueue(EventItem item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(item));
+  }
+  queue_cv_.notify_one();
+}
+
+JobId PlacementService::Submit(JobSpec spec) {
+  EventItem ev;
+  ev.kind = EventItem::Kind::kSubmit;
+  JobId id = kInvalidJobId;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return kInvalidJobId;
+    }
+    id = next_job_id_++;
+    auto rec = std::make_unique<JobRecord>();
+    rec->id = id;
+    rec->spec = std::move(spec);
+    rec->graph = rec->spec.graph;
+    rec->status.id = id;
+    rec->status.name = rec->spec.name;
+    rec->status.submit_time_s = NowS();
+    jobs_[id] = std::move(rec);
+    ++stats_.submitted;
+    ev.job = id;
+    queue_.push_back(std::move(ev));
+  }
+  queue_cv_.notify_one();
+  return id;
+}
+
+void PlacementService::Cancel(JobId job) {
+  EventItem ev;
+  ev.kind = EventItem::Kind::kCancel;
+  ev.job = job;
+  Enqueue(std::move(ev));
+}
+
+void PlacementService::Rescale(JobId job, std::vector<int> parallelism) {
+  EventItem ev;
+  ev.kind = EventItem::Kind::kRescale;
+  ev.job = job;
+  ev.parallelism = std::move(parallelism);
+  Enqueue(std::move(ev));
+}
+
+void PlacementService::OnWorkerDead(WorkerId w) {
+  EventItem ev;
+  ev.kind = EventItem::Kind::kWorkerDead;
+  ev.worker = w;
+  Enqueue(std::move(ev));
+}
+
+void PlacementService::OnWorkerRestored(WorkerId w) {
+  EventItem ev;
+  ev.kind = EventItem::Kind::kWorkerRestored;
+  ev.worker = w;
+  Enqueue(std::move(ev));
+}
+
+void PlacementService::OnFailureDetectorVerdicts(const std::vector<WorkerId>& newly_dead) {
+  for (WorkerId w : newly_dead) {
+    OnWorkerDead(w);
+  }
+}
+
+void PlacementService::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_ && planners_in_flight_ == 0) {
+        break;
+      }
+      if (stopping_) {
+        // Planners still running will post results; wait for them.
+        queue_cv_.wait_for(lock, std::chrono::milliseconds(5));
+      }
+      continue;
+    }
+    EventItem ev = std::move(queue_.front());
+    queue_.pop_front();
+    switch (ev.kind) {
+      case EventItem::Kind::kSubmit:
+        HandleSubmit(ev.job);
+        break;
+      case EventItem::Kind::kCancel:
+        HandleCancel(ev.job);
+        break;
+      case EventItem::Kind::kRescale:
+        HandleRescale(ev.job, std::move(ev.parallelism));
+        break;
+      case EventItem::Kind::kWorkerDead:
+        HandleWorkerDead(ev.worker);
+        break;
+      case EventItem::Kind::kWorkerRestored:
+        HandleWorkerRestored(ev.worker);
+        break;
+      case EventItem::Kind::kPlanCommitted:
+        HandlePlanCommitted(ev.job, std::move(*ev.plan));
+        break;
+      case EventItem::Kind::kPlanFailed:
+        HandlePlanFailed(ev.job, std::move(*ev.plan));
+        break;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void PlacementService::Transition(JobRecord& rec, JobState to, const std::string& detail) {
+  JobState from = rec.state;
+  rec.state = to;
+  rec.status.state = to;
+  rec.status.detail = detail;
+  EmitJobStateChanged(EventLog::Global().now(), rec.id, JobStateName(from), JobStateName(to),
+                      detail);
+  CAPSYS_LOG_DEBUG("scheduler", Sprintf("job %lld %s -> %s: %s",
+                                        static_cast<long long>(rec.id), JobStateName(from),
+                                        JobStateName(to), detail.c_str()));
+}
+
+AdmissionOutcome PlacementService::AdmitLocked(JobRecord& rec) {
+  ResourceVector ceiling = view_.TotalCapacity() * options_.admission_headroom;
+  if (rec.tasks > view_.TotalSlots() || !rec.demand.AllLeq(ceiling)) {
+    return AdmissionOutcome::kRejectedCapacity;
+  }
+  if (rec.tasks > view_.TotalFreeSlots() ||
+      !(admitted_demand_ + rec.demand).AllLeq(ceiling)) {
+    return AdmissionOutcome::kQueuedCapacity;
+  }
+  return AdmissionOutcome::kAdmitted;
+}
+
+void PlacementService::HandleSubmit(JobId job) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return;
+  }
+  JobRecord& rec = *it->second;
+  if (rec.cancelled.load()) {
+    Transition(rec, JobState::kTerminated, "cancelled before admission");
+    return;
+  }
+  std::string graph_error =
+      rec.graph.num_operators() == 0 ? "empty graph" : rec.graph.Validate();
+  if (!graph_error.empty()) {
+    rec.admission = AdmissionOutcome::kRejectedInvalid;
+    rec.status.admission = rec.admission;
+    ++stats_.rejected;
+    EmitAdmissionDecision(EventLog::Global().now(), job,
+                          AdmissionOutcomeName(rec.admission), 0, view_.TotalFreeSlots());
+    Transition(rec, JobState::kRejected, "invalid spec: " + graph_error);
+    return;
+  }
+  // Demand estimate from the cost model's task demands (Table 1 of the paper): aggregate
+  // cpu-seconds/s, io bytes/s, net bytes/s at the declared profiles and target rates.
+  PhysicalGraph physical = PhysicalGraph::Expand(rec.graph);
+  auto rates = PropagateRates(rec.graph, rec.spec.source_rates);
+  auto demands = TaskDemands(physical, rates);
+  rec.demand = ResourceVector{};
+  for (const auto& d : demands) {
+    rec.demand += d;
+  }
+  rec.tasks = physical.num_tasks();
+  rec.status.demand = rec.demand;
+  rec.status.tasks = rec.tasks;
+
+  AdmissionOutcome verdict = AdmitLocked(rec);
+  if (verdict == AdmissionOutcome::kQueuedCapacity &&
+      admission_queue_.size() >= static_cast<size_t>(options_.max_queued_jobs)) {
+    verdict = AdmissionOutcome::kRejectedCapacity;
+  }
+  rec.admission = verdict;
+  rec.status.admission = verdict;
+  EmitAdmissionDecision(EventLog::Global().now(), job, AdmissionOutcomeName(verdict),
+                        rec.tasks, view_.TotalFreeSlots());
+  switch (verdict) {
+    case AdmissionOutcome::kAdmitted:
+      ++stats_.admitted;
+      admitted_demand_ += rec.demand;
+      rec.demand_accounted = true;
+      Transition(rec, JobState::kPlanning, "admitted");
+      SpawnPlanner(rec, /*recovering=*/false);
+      break;
+    case AdmissionOutcome::kQueuedCapacity:
+      ++stats_.queued;
+      admission_queue_.push_back(job);
+      Transition(rec, JobState::kQueued,
+                 Sprintf("%d tasks > %d free slots", rec.tasks, view_.TotalFreeSlots()));
+      break;
+    case AdmissionOutcome::kRejectedCapacity:
+      ++stats_.rejected;
+      Transition(rec, JobState::kRejected,
+                 Sprintf("needs %d tasks / %s, cluster has %d usable slots", rec.tasks,
+                         rec.demand.ToString().c_str(), view_.TotalSlots()));
+      break;
+    case AdmissionOutcome::kRejectedInvalid:
+      ++stats_.rejected;
+      Transition(rec, JobState::kRejected, "invalid spec");
+      break;
+  }
+}
+
+void PlacementService::HandleCancel(JobId job) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return;
+  }
+  JobRecord& rec = *it->second;
+  if (rec.state == JobState::kTerminated || rec.state == JobState::kRejected) {
+    return;
+  }
+  rec.cancelled.store(true);
+  ++stats_.cancelled;
+  if (rec.state == JobState::kQueued) {
+    admission_queue_.erase(
+        std::remove(admission_queue_.begin(), admission_queue_.end(), job),
+        admission_queue_.end());
+  }
+  if (rec.demand_accounted) {
+    admitted_demand_ -= rec.demand;
+    rec.demand_accounted = false;
+  }
+  view_.Release(job);
+  Transition(rec, JobState::kTerminated, "cancelled");
+  ReleaseQueuedLocked();
+}
+
+void PlacementService::HandleRescale(JobId job, std::vector<int> parallelism) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return;
+  }
+  JobRecord& rec = *it->second;
+  if (rec.state != JobState::kRunning) {
+    CAPSYS_LOG_WARN("scheduler", Sprintf("rescale of job %lld ignored in state %s",
+                                         static_cast<long long>(job),
+                                         JobStateName(rec.state)));
+    return;
+  }
+  if (parallelism.size() != static_cast<size_t>(rec.graph.num_operators()) ||
+      std::any_of(parallelism.begin(), parallelism.end(), [](int p) { return p < 1; })) {
+    CAPSYS_LOG_WARN("scheduler", Sprintf("rescale of job %lld ignored: bad parallelism",
+                                         static_cast<long long>(job)));
+    return;
+  }
+  int slots_before = rec.graph.total_parallelism();
+  rec.graph.SetParallelism(parallelism);
+  // Demand totals change only through rounding (per-task demand is total/p), but the task
+  // count does; refresh both for admission accounting.
+  PhysicalGraph physical = PhysicalGraph::Expand(rec.graph);
+  auto rates = PropagateRates(rec.graph, rec.spec.source_rates);
+  auto demands = TaskDemands(physical, rates);
+  ResourceVector new_demand;
+  for (const auto& d : demands) {
+    new_demand += d;
+  }
+  if (rec.demand_accounted) {
+    admitted_demand_ -= rec.demand;
+    admitted_demand_ += new_demand;
+  }
+  rec.demand = new_demand;
+  rec.tasks = physical.num_tasks();
+  rec.status.demand = new_demand;
+  std::string parallelism_str;
+  for (int p : parallelism) {
+    parallelism_str += Sprintf("%d ", p);
+  }
+  EmitScaleDecision(EventLog::Global().now(), "scheduler_rescale", slots_before,
+                    rec.graph.total_parallelism(), parallelism_str);
+  Transition(rec, JobState::kRescaling,
+             Sprintf("%d -> %d slots", slots_before, rec.graph.total_parallelism()));
+  SpawnPlanner(rec, /*recovering=*/false);
+}
+
+void PlacementService::HandleWorkerDead(WorkerId w) {
+  std::map<JobId, int> affected = view_.MarkWorkerDown(w);
+  CAPSYS_LOG_INFO("scheduler", Sprintf("worker %d down; %zu jobs affected", w,
+                                       affected.size()));
+  for (const auto& [job, lost_slots] : affected) {
+    auto it = jobs_.find(job);
+    if (it == jobs_.end()) {
+      continue;
+    }
+    JobRecord& rec = *it->second;
+    if (rec.state != JobState::kRunning && rec.state != JobState::kDeploying) {
+      // A planner is already in flight (Planning/Rescaling/Recovering): its commit will
+      // re-validate against the new view and replan on conflict; nothing to do here.
+      continue;
+    }
+    ++stats_.recoveries;
+    ++rec.status.recoveries;
+    // Checkpoint-model estimate of the blackout this recovery will incur (fed to the
+    // Recovering state; the fixed fallback applies when the job has no coordinator).
+    double total_rate = 0.0;
+    for (const auto& [op, r] : rec.spec.source_rates) {
+      total_rate += r;
+    }
+    double domain_now = EventLog::Global().now();
+    RecoveryEstimate est = EstimateRecovery(
+        rec.spec.checkpoint, domain_now, total_rate * domain_now,
+        std::max(1.0, total_rate), std::max(1e6, view_.TotalCapacity().io),
+        RecoveryModelOptions{});
+    rec.status.est_recovery_downtime_s = est.downtime_s;
+    Transition(rec, JobState::kRecovering,
+               Sprintf("worker %d died (lost %d slots, est blackout %.2fs)", w, lost_slots,
+                       est.downtime_s));
+    SpawnPlanner(rec, /*recovering=*/true);
+  }
+}
+
+void PlacementService::HandleWorkerRestored(WorkerId w) {
+  view_.MarkWorkerUp(w);
+  CAPSYS_LOG_INFO("scheduler", Sprintf("worker %d restored", w));
+  ReleaseQueuedLocked();
+}
+
+void PlacementService::ReleaseQueuedLocked() {
+  // FIFO with fit-based bypass: older jobs get the first look, but a small job behind a
+  // large blocked one may start (documented head-of-line tradeoff; see DESIGN.md §9).
+  std::vector<JobId> queued(admission_queue_.begin(), admission_queue_.end());
+  for (JobId job : queued) {
+    auto it = jobs_.find(job);
+    if (it == jobs_.end()) {
+      continue;
+    }
+    JobRecord& rec = *it->second;
+    if (AdmitLocked(rec) != AdmissionOutcome::kAdmitted) {
+      continue;
+    }
+    admission_queue_.erase(
+        std::remove(admission_queue_.begin(), admission_queue_.end(), job),
+        admission_queue_.end());
+    ++stats_.admitted;
+    rec.admission = AdmissionOutcome::kAdmitted;
+    rec.status.admission = rec.admission;
+    admitted_demand_ += rec.demand;
+    rec.demand_accounted = true;
+    EmitAdmissionDecision(EventLog::Global().now(), job, "readmitted", rec.tasks,
+                          view_.TotalFreeSlots());
+    Transition(rec, JobState::kPlanning, "capacity freed; re-admitted");
+    SpawnPlanner(rec, /*recovering=*/false);
+  }
+}
+
+void PlacementService::SpawnPlanner(JobRecord& rec, bool recovering) {
+  if (stopping_) {
+    return;
+  }
+  PlanRequest req;
+  req.job = rec.id;
+  req.graph = rec.graph;
+  req.source_rates = rec.spec.source_rates;
+  req.recovering = recovering;
+  req.allow_degraded = rec.spec.allow_degraded_recovery;
+  req.cancelled = &rec.cancelled;
+  ++planners_in_flight_;
+  planner_pool_->Submit([this, req = std::move(req)]() mutable { RunPlanner(std::move(req)); });
+}
+
+void PlacementService::RunPlanner(PlanRequest req) {
+  Span span("scheduler.plan");
+  span.AddAttr("job", static_cast<int>(req.job));
+  auto t0 = std::chrono::steady_clock::now();
+  auto outcome = std::make_unique<PlanOutcome>();
+  outcome->recovering = req.recovering;
+  EventItem ev;
+  ev.job = req.job;
+  ev.kind = EventItem::Kind::kPlanFailed;
+
+  LogicalGraph graph = req.graph;
+  // Tuned thresholds depend on the job's demand shape, not on which slots happen to be
+  // free, so one auto-tune per planning session is enough: conflict retries reuse it and
+  // pay only for the (much cheaper) re-search. Re-tuned only when degradation changes the
+  // graph.
+  ResourceVector tuned_alpha{1.0, 1.0, 1.0};
+  bool have_alpha = false;
+  while (outcome->attempts < options_.max_plan_attempts) {
+    ++outcome->attempts;
+    if (req.cancelled->load()) {
+      outcome->fail = PlanOutcome::Fail::kCancelled;
+      break;
+    }
+    ClusterSnapshot snap = view_.SnapshotFor(req.job);
+    if (graph.total_parallelism() > snap.total_free) {
+      if (req.recovering && req.allow_degraded) {
+        LogicalGraph shrunk = req.graph;  // re-derive from the requested parallelism
+        int steps = 0;
+        if (DownscaleToFit(shrunk, snap.total_free, &steps)) {
+          graph = std::move(shrunk);
+          outcome->degraded = steps > 0;
+          outcome->downscale_steps = steps;
+          have_alpha = false;  // parallelism changed; thresholds must be re-tuned
+        } else {
+          outcome->fail = PlanOutcome::Fail::kNoCapacity;
+          break;
+        }
+      } else {
+        outcome->fail = PlanOutcome::Fail::kNoCapacity;
+        break;
+      }
+    }
+    PhysicalGraph physical = PhysicalGraph::Expand(graph);
+    auto rates = PropagateRates(graph, req.source_rates);
+    auto demands = TaskDemands(physical, rates);
+    std::string key;
+    bool hit = false;
+    Placement placement;
+    ResourceVector alpha{1.0, 1.0, 1.0};
+    ResourceVector plan_cost;
+    if (options_.enable_plan_cache) {
+      key = PlanCache::MakeKey(JobGraphFingerprint(graph, req.source_rates),
+                               snap.Signature(), BottleneckSignature(demands, cluster_));
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      auto cached = cache_.Lookup(key);
+      if (cached.has_value() && cached->placement.num_tasks() == physical.num_tasks()) {
+        placement = cached->placement;
+        alpha = cached->alpha;
+        plan_cost = cached->plan_cost;
+        hit = true;
+      }
+    }
+    if (!hit) {
+      Span search_span("scheduler.search");
+      Cluster residual = snap.ResidualCluster(cluster_);
+      CostModel model(physical, residual, demands);
+      if (!have_alpha) {
+        AutoTuneOptions tune = options_.autotune;
+        tune.num_threads = options_.search_threads;
+        AutoTuneResult tuned = AutoTuneThresholds(model, tune);
+        tuned_alpha = tuned.feasible ? tuned.alpha : ResourceVector{1.0, 1.0, 1.0};
+        have_alpha = true;
+      }
+      alpha = tuned_alpha;
+      SearchOptions search_options;
+      search_options.alpha = alpha;
+      search_options.num_threads = options_.search_threads;
+      search_options.timeout_s = options_.search_timeout_s;
+      search_options.find_first = physical.num_tasks() > options_.find_first_above_tasks;
+      SearchResult result = CapsSearch(model, search_options).Run();
+      std::vector<ScoredPlan> candidates = std::move(result.pareto);
+      Placement greedy = GreedyBalancedPlacement(model);
+      candidates.push_back(ScoredPlan{greedy, model.Cost(greedy)});
+      size_t best = 0;
+      double best_util = 1e300;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        double util = MaxUtilization(model, residual, candidates[i].placement);
+        if (util < best_util - 1e-9 ||
+            (util < best_util + 1e-9 &&
+             BetterCost(candidates[i].cost, candidates[best].cost))) {
+          best = i;
+          best_util = util;
+        }
+      }
+      placement = candidates[best].placement;
+      plan_cost = candidates[best].cost;
+    }
+    SlotReservation reservation = ReservationFromPlacement(placement, cluster_.num_workers());
+    CommitResult cr = view_.TryCommit(req.job, snap.epoch, reservation,
+                                      !options_.strict_epoch_commit);
+    if (cr == CommitResult::kConflict) {
+      ++outcome->conflicts;
+      double backoff = std::min(options_.backoff_max_s,
+                                options_.backoff_base_s *
+                                    std::pow(2.0, outcome->conflicts - 1));
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      continue;
+    }
+    if (!hit && options_.enable_plan_cache) {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      cache_.Insert(key, CachedPlan{placement, alpha, plan_cost, snap.epoch});
+    }
+    outcome->fail = PlanOutcome::Fail::kNone;
+    outcome->commit = cr;
+    outcome->placement = std::move(placement);
+    outcome->reservation = std::move(reservation);
+    outcome->alpha = alpha;
+    outcome->plan_cost = plan_cost;
+    outcome->from_cache = hit;
+    std::vector<int> parallelism;
+    for (const auto& op : graph.operators()) {
+      parallelism.push_back(op.parallelism);
+    }
+    outcome->parallelism = std::move(parallelism);
+    ev.kind = EventItem::Kind::kPlanCommitted;
+    break;
+  }
+  if (ev.kind == EventItem::Kind::kPlanFailed &&
+      outcome->fail == PlanOutcome::Fail::kNone) {
+    outcome->fail = PlanOutcome::Fail::kNoCapacity;  // attempts exhausted on conflicts
+  }
+  outcome->planning_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  span.AddAttr("attempts", outcome->attempts);
+  ev.plan = std::move(outcome);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(ev));
+    --planners_in_flight_;
+  }
+  queue_cv_.notify_one();
+  idle_cv_.notify_all();
+}
+
+void PlacementService::HandlePlanCommitted(JobId job, PlanOutcome outcome) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    view_.Release(job);
+    return;
+  }
+  JobRecord& rec = *it->second;
+  stats_.commit_conflicts += static_cast<uint64_t>(outcome.conflicts);
+  rec.status.plan_attempts += outcome.attempts;
+  rec.status.commit_conflicts += outcome.conflicts;
+  rec.status.planning_time_s += outcome.planning_time_s;
+  if (rec.cancelled.load() || rec.state == JobState::kTerminated ||
+      rec.state == JobState::kRejected) {
+    // Lost the race with a cancel: the commit went through, take it back.
+    view_.Release(job);
+    return;
+  }
+  ++stats_.plans_committed;
+  if (outcome.from_cache) {
+    ++stats_.plans_from_cache;
+  }
+  if (outcome.commit == CommitResult::kCommittedStale) {
+    ++stats_.stale_commits;
+  }
+  if (outcome.degraded) {
+    stats_.downscales += static_cast<uint64_t>(outcome.downscale_steps);
+  }
+  rec.graph.SetParallelism(outcome.parallelism);
+  rec.tasks = outcome.placement.num_tasks();
+  rec.status.tasks = rec.tasks;
+  rec.status.parallelism = outcome.parallelism;
+  rec.status.placement = outcome.placement;
+  rec.status.alpha = outcome.alpha;
+  rec.status.plan_cost = outcome.plan_cost;
+  rec.status.degraded = outcome.degraded;
+  rec.status.plan_from_cache = outcome.from_cache;
+  EmitPlacementDecision(EventLog::Global().now(), "scheduler", rec.tasks,
+                        cluster_.num_workers(), outcome.alpha, outcome.plan_cost,
+                        outcome.planning_time_s);
+  Transition(rec, JobState::kDeploying,
+             Sprintf("%s commit (%d attempts%s)", CommitResultName(outcome.commit),
+                     outcome.attempts, outcome.from_cache ? ", cached plan" : ""));
+  // The runtime hand-off is immediate in this reproduction (the simulator-side runtime is
+  // attached out-of-band); the two transitions are kept distinct for the state machine.
+  Transition(rec, JobState::kRunning,
+             outcome.degraded ? "running degraded" : "running");
+  if (rec.status.running_time_s < 0.0) {
+    rec.status.running_time_s = NowS();
+    rec.status.decision_latency_s = rec.status.running_time_s - rec.status.submit_time_s;
+  }
+  if (outcome.recovering) {
+    EmitRecoveryVerdict(EventLog::Global().now(),
+                        outcome.degraded ? "recovered_degraded" : "recovered_full",
+                        view_.TotalSlots() / std::max(1, cluster_.slots_per_worker()));
+  }
+  // A downscale or a rescale to fewer slots frees capacity for queued jobs.
+  ReleaseQueuedLocked();
+}
+
+void PlacementService::HandlePlanFailed(JobId job, PlanOutcome outcome) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return;
+  }
+  JobRecord& rec = *it->second;
+  stats_.commit_conflicts += static_cast<uint64_t>(outcome.conflicts);
+  rec.status.plan_attempts += outcome.attempts;
+  rec.status.commit_conflicts += outcome.conflicts;
+  rec.status.planning_time_s += outcome.planning_time_s;
+  view_.Release(job);
+  if (rec.demand_accounted) {
+    admitted_demand_ -= rec.demand;
+    rec.demand_accounted = false;
+  }
+  if (outcome.fail == PlanOutcome::Fail::kCancelled || rec.cancelled.load() ||
+      rec.state == JobState::kTerminated || rec.state == JobState::kRejected) {
+    if (rec.state != JobState::kTerminated && rec.state != JobState::kRejected) {
+      Transition(rec, JobState::kTerminated, "cancelled while planning");
+    }
+    ReleaseQueuedLocked();
+    return;
+  }
+  // No capacity at plan time (or conflict retries exhausted): back to the admission queue
+  // until capacity frees. Structured — never a CHECK abort.
+  ++stats_.queued;
+  rec.admission = AdmissionOutcome::kQueuedCapacity;
+  rec.status.admission = rec.admission;
+  admission_queue_.push_back(job);
+  if (outcome.recovering) {
+    EmitRecoveryVerdict(EventLog::Global().now(), "unplaceable",
+                        view_.TotalSlots() / std::max(1, cluster_.slots_per_worker()));
+  }
+  Transition(rec, JobState::kQueued,
+             outcome.recovering ? "recovery unplaceable; queued for capacity"
+                                : "no capacity at plan time; queued");
+  ReleaseQueuedLocked();
+}
+
+JobStatus PlacementService::Status(JobId job) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return JobStatus{};
+  }
+  return it->second->status;
+}
+
+std::vector<JobStatus> PlacementService::AllStatuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, rec] : jobs_) {
+    out.push_back(rec->status);
+  }
+  return out;
+}
+
+SchedulerStats PlacementService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats s = stats_;
+  s.stale_commits = view_.stale_commits();
+  s.epoch = view_.epoch();
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    s.cache_hits = cache_.hits();
+    s.cache_misses = cache_.misses();
+  }
+  return s;
+}
+
+bool PlacementService::WaitIdle(double timeout_s) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_until(lock, deadline, [this] {
+    if (!queue_.empty() || planners_in_flight_ > 0) {
+      return false;
+    }
+    for (const auto& [id, rec] : jobs_) {
+      switch (rec->state) {
+        case JobState::kSubmitted:
+        case JobState::kPlanning:
+        case JobState::kDeploying:
+        case JobState::kRescaling:
+        case JobState::kRecovering:
+          return false;
+        default:
+          break;
+      }
+    }
+    return true;
+  });
+}
+
+}  // namespace capsys

@@ -1,0 +1,185 @@
+// Online multi-job placement service (scheduler subsystem; see DESIGN.md §9).
+//
+// An always-on, multi-threaded front-end to the CAPS placement machinery that owns one
+// shared cluster and serves concurrent job submissions, cancels, rescales, and
+// failure-triggered replans:
+//
+//   - One *dispatcher* thread drains a single serialized event queue (client requests,
+//     FailureDetector verdicts, DS2 scale decisions, and planner completions all flow
+//     through the same queue) and drives the per-job state machines in job.h. All job
+//     bookkeeping happens on this thread, so the lifecycle logic needs no per-job locks.
+//   - A planner ThreadPool runs CAPS searches concurrently. Planners work against
+//     immutable ClusterView snapshots and commit slot reservations optimistically (epoch
+//     check; retry with exponential backoff on conflict) — see cluster_view.h.
+//   - Admission control estimates a job's aggregate CPU/IO/net demand from the cost model
+//     and either admits, queues (fits the cluster but not the current free capacity), or
+//     rejects it with a structured kRejectedCapacity — never a CHECK abort. Queued jobs
+//     are re-examined whenever capacity frees (cancel, restore, down-scale).
+//   - A PlanCache keyed by (job fingerprint, capacity signature, bottleneck signature)
+//     lets repeated submissions and failure-replans of an unchanged job skip the search.
+//
+// The service is additive: the single-job batch drivers (fig benches, chaos/scaling
+// drivers) do not go through it and are byte-identical to their pre-service behaviour.
+#ifndef SRC_SCHEDULER_PLACEMENT_SERVICE_H_
+#define SRC_SCHEDULER_PLACEMENT_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/caps/auto_tuner.h"
+#include "src/common/thread_pool.h"
+#include "src/scheduler/cluster_view.h"
+#include "src/scheduler/job.h"
+#include "src/scheduler/plan_cache.h"
+
+namespace capsys {
+
+struct SchedulerOptions {
+  // Concurrent planner threads (each runs one CAPS search at a time).
+  int planner_threads = 2;
+  // Threads *within* one search/auto-tune (usually 1: cross-job parallelism beats
+  // intra-search parallelism when many jobs are in flight).
+  int search_threads = 1;
+  double search_timeout_s = 1.0;
+  int find_first_above_tasks = 32;
+  AutoTuneOptions autotune{.timeout_s = 0.5, .probe_timeout_s = 0.05};
+
+  // Optimistic-commit policy. Default: an epoch advance whose committed reservations do
+  // not intersect ours re-validates and commits (kCommittedStale). Strict mode treats any
+  // epoch advance as a conflict — the textbook protocol; used by tests and ablations.
+  bool strict_epoch_commit = false;
+  int max_plan_attempts = 10;
+  double backoff_base_s = 0.001;  // exponential, doubles per conflict
+  double backoff_max_s = 0.064;
+
+  // Admission control.
+  int max_queued_jobs = 64;
+  // Fraction of aggregate usable capacity admissible per dimension (1.0 = up to nominal).
+  double admission_headroom = 1.0;
+
+  // Plan cache.
+  bool enable_plan_cache = true;
+  size_t plan_cache_capacity = 512;
+};
+
+struct SchedulerStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t queued = 0;          // admission deferrals (incl. recovery requeues)
+  uint64_t rejected = 0;
+  uint64_t cancelled = 0;
+  uint64_t plans_committed = 0;
+  uint64_t plans_from_cache = 0;
+  uint64_t commit_conflicts = 0;
+  uint64_t stale_commits = 0;
+  uint64_t recoveries = 0;      // worker-death replans dispatched
+  uint64_t downscales = 0;      // degraded-recovery parallelism reductions
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t epoch = 0;           // current cluster-view epoch
+
+  std::string ToString() const;
+};
+
+class PlacementService {
+ public:
+  PlacementService(Cluster cluster, SchedulerOptions options = {});
+  ~PlacementService();  // drains in-flight planners, stops the dispatcher
+
+  PlacementService(const PlacementService&) = delete;
+  PlacementService& operator=(const PlacementService&) = delete;
+
+  // --- Client API (thread-safe; all asynchronous, serialized through the event queue) ---
+
+  // Submits a job; returns its id immediately. Admission/planning proceed asynchronously.
+  JobId Submit(JobSpec spec);
+  // Cancels a job in any non-terminal state, releasing its reservation.
+  void Cancel(JobId job);
+  // Requests a re-plan at a new per-operator parallelism (only honoured while Running;
+  // DS2 decisions arrive here via ApplyScaleDecision).
+  void Rescale(JobId job, std::vector<int> parallelism);
+  void ApplyScaleDecision(JobId job, const std::vector<int>& parallelism) {
+    Rescale(job, parallelism);
+  }
+
+  // --- Cluster events (FailureDetector verdicts, chaos faults, capacity changes) -------
+
+  void OnWorkerDead(WorkerId w);
+  void OnWorkerRestored(WorkerId w);
+  // Convenience for wiring FailureDetector::Tick results straight in.
+  void OnFailureDetectorVerdicts(const std::vector<WorkerId>& newly_dead);
+
+  // --- Introspection --------------------------------------------------------------------
+
+  JobStatus Status(JobId job) const;
+  std::vector<JobStatus> AllStatuses() const;
+  SchedulerStats stats() const;
+  const ClusterView& view() const { return view_; }
+
+  // Blocks until the service is quiescent: event queue empty, no planner in flight, and
+  // every job in Queued / Running / Terminated / Rejected. Returns false on timeout.
+  bool WaitIdle(double timeout_s);
+
+ private:
+  struct EventItem;
+  struct JobRecord;
+  struct PlanOutcome;
+  struct PlanRequest;
+
+  void DispatcherLoop();
+  void Enqueue(EventItem item);
+  // Dispatcher-thread handlers.
+  void HandleSubmit(JobId job);
+  void HandleCancel(JobId job);
+  void HandleRescale(JobId job, std::vector<int> parallelism);
+  void HandleWorkerDead(WorkerId w);
+  void HandleWorkerRestored(WorkerId w);
+  void HandlePlanCommitted(JobId job, PlanOutcome outcome);
+  void HandlePlanFailed(JobId job, PlanOutcome outcome);
+  // Admission decision for a submitted/queued job (dispatcher thread, mu_ held).
+  AdmissionOutcome AdmitLocked(JobRecord& rec);
+  // Re-examines queued jobs after capacity freed (dispatcher thread, mu_ held).
+  void ReleaseQueuedLocked();
+  // Spawns a planner task for `rec` (dispatcher thread, mu_ held).
+  void SpawnPlanner(JobRecord& rec, bool recovering);
+  // Runs in a planner thread; plans + commits, then posts kPlanCommitted/kPlanFailed.
+  void RunPlanner(PlanRequest req);
+  void Transition(JobRecord& rec, JobState to, const std::string& detail);
+  double NowS() const;
+
+  Cluster cluster_;
+  SchedulerOptions options_;
+  ClusterView view_;
+
+  mutable std::mutex cache_mu_;
+  PlanCache cache_;
+
+  // Dispatcher state: the event queue and all job records.
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;   // dispatcher wakeup
+  std::condition_variable idle_cv_;    // WaitIdle wakeup
+  std::deque<EventItem> queue_;
+  std::map<JobId, std::unique_ptr<JobRecord>> jobs_;
+  std::deque<JobId> admission_queue_;  // jobs in kQueued, FIFO with fit-based bypass
+  ResourceVector admitted_demand_;     // summed demand of admitted (non-queued) jobs
+  JobId next_job_id_ = 1;
+  int planners_in_flight_ = 0;
+  bool stopping_ = false;
+  SchedulerStats stats_;
+
+  std::unique_ptr<ThreadPool> planner_pool_;
+  std::thread dispatcher_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_SCHEDULER_PLACEMENT_SERVICE_H_

@@ -1,0 +1,138 @@
+#include "src/scheduler/plan_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/str.h"
+
+namespace capsys {
+
+namespace {
+
+inline void HashMix(uint64_t& h, uint64_t v) {
+  // FNV-1a over the 8 bytes of v.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+}
+
+inline void HashDouble(uint64_t& h, double v) {
+  // Quantize to ~9 significant digits so bit-level noise in profiled costs does not split
+  // otherwise-identical jobs across cache entries.
+  double q = v == 0.0 ? 0.0 : std::round(v * 1e9) / 1e9;
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(q));
+  std::memcpy(&bits, &q, sizeof(bits));
+  HashMix(h, bits);
+}
+
+}  // namespace
+
+uint64_t JobGraphFingerprint(const LogicalGraph& graph,
+                             const std::map<OperatorId, double>& source_rates) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  HashMix(h, static_cast<uint64_t>(graph.num_operators()));
+  for (const auto& op : graph.operators()) {
+    HashMix(h, static_cast<uint64_t>(op.kind));
+    HashMix(h, static_cast<uint64_t>(op.parallelism));
+    HashDouble(h, op.profile.cpu_per_record);
+    HashDouble(h, op.profile.io_bytes_per_record);
+    HashDouble(h, op.profile.out_bytes_per_record);
+    HashDouble(h, op.profile.selectivity);
+    HashDouble(h, op.profile.gc_spike_fraction);
+    HashMix(h, op.profile.stateful ? 1 : 0);
+  }
+  for (const auto& e : graph.edges()) {
+    HashMix(h, static_cast<uint64_t>(e.from));
+    HashMix(h, static_cast<uint64_t>(e.to));
+    HashMix(h, static_cast<uint64_t>(e.scheme));
+  }
+  // Relative rates only: normalize by the largest source rate so uniformly scaled
+  // submissions share a fingerprint (cost vectors are scale-invariant).
+  double max_rate = 0.0;
+  for (const auto& [op, r] : source_rates) {
+    max_rate = std::max(max_rate, r);
+  }
+  for (const auto& [op, r] : source_rates) {
+    HashMix(h, static_cast<uint64_t>(op));
+    HashDouble(h, max_rate > 0.0 ? r / max_rate : 0.0);
+  }
+  return h;
+}
+
+std::string BottleneckSignature(const std::vector<ResourceVector>& demands,
+                                const Cluster& reference) {
+  ResourceVector total;
+  for (const auto& d : demands) {
+    total += d;
+  }
+  const WorkerSpec& spec = reference.num_workers() > 0 ? reference.worker(0).spec
+                                                       : WorkerSpec{};
+  ResourceVector util{total.cpu / std::max(1e-12, spec.cpu_capacity),
+                      total.io / std::max(1e-12, spec.io_bandwidth_bps),
+                      total.net / std::max(1e-12, spec.net_bandwidth_bps)};
+  double max_util = std::max(1e-12, util.Max());
+  // Three decimal places is coarse enough for profiling noise, fine enough to separate
+  // genuinely different load shapes.
+  return Sprintf("cpu=%.3f io=%.3f net=%.3f", util.cpu / max_util, util.io / max_util,
+                 util.net / max_util);
+}
+
+std::string PlanCache::MakeKey(uint64_t fingerprint, const std::string& capacity_signature,
+                               const std::string& bottleneck_signature) {
+  return Sprintf("%016llx|%s|%s", static_cast<unsigned long long>(fingerprint),
+                 capacity_signature.c_str(), bottleneck_signature.c_str());
+}
+
+std::optional<CachedPlan> PlanCache::Lookup(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  return it->second.plan;
+}
+
+void PlanCache::Insert(const std::string& key, CachedPlan plan) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.plan = std::move(plan);
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    return;
+  }
+  while (entries_.size() >= capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(plan), lru_.begin()};
+}
+
+void PlanCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t PlanCache::EvictOlderThan(uint64_t epoch) {
+  size_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.plan.epoch < epoch) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace capsys

@@ -1,0 +1,94 @@
+// Plan cache for the online placement service (generalizes caps/threshold_cache from
+// "thresholds per parallelism vector on a fixed cluster" to "complete plan per job x
+// cluster-state x load-shape").
+//
+// Key = (job-graph fingerprint, cluster capacity signature, bottleneck signature):
+//   - fingerprint: structural hash of the logical graph — operators (kind, parallelism,
+//     per-record profile), edges (endpoints, partition scheme), and *relative* source rates
+//     (normalized by the largest source). Absolute rate scale is excluded on purpose: CAPS
+//     cost vectors are invariant under uniform rate scaling (see threshold_cache.h), so a
+//     job resubmitted at 2x the rate reuses the cached plan and thresholds.
+//   - capacity signature: the ClusterView free/usable state the plan was computed against
+//     (a canonicalized epoch — two epochs with equal signatures are interchangeable for
+//     planning; raw epoch values would defeat the cache after every commit/release pair).
+//   - bottleneck signature: aggregate task demand per dimension, capacity-normalized and
+//     quantized — which resource the job actually stresses. Jobs whose profiles drift
+//     enough to move the bottleneck re-plan instead of reusing a stale shape.
+//
+// Entries are only ever *hints*: the service re-validates every cached placement against
+// the live ClusterView at commit time, so a stale hit degrades to a conflict, never to a
+// double-booked slot.
+#ifndef SRC_SCHEDULER_PLAN_CACHE_H_
+#define SRC_SCHEDULER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/types.h"
+#include "src/dataflow/logical_graph.h"
+#include "src/dataflow/placement.h"
+
+namespace capsys {
+
+// Structural hash of the job graph + relative rates (FNV-1a over a canonical encoding).
+uint64_t JobGraphFingerprint(const LogicalGraph& graph,
+                             const std::map<OperatorId, double>& source_rates);
+
+// Quantized capacity-normalized aggregate demand: "cpu=0.312 io=1.000 net=0.087"-style,
+// largest dimension pinned to 1. `demands` is per task; `reference` supplies per-worker
+// capacities (worker 0's spec; the signature only needs a consistent normalizer).
+std::string BottleneckSignature(const std::vector<ResourceVector>& demands,
+                                const Cluster& reference);
+
+struct CachedPlan {
+  Placement placement;       // global WorkerIds over the full cluster
+  ResourceVector alpha;      // auto-tuned thresholds the plan satisfied
+  ResourceVector plan_cost;  // its cost vector at cache time
+  uint64_t epoch = 0;        // ClusterView epoch the plan was computed at (bookkeeping)
+};
+
+// Bounded LRU keyed by the composite key above. Thread-safe use is the caller's concern:
+// the PlacementService only touches it from planner threads under its own mutex.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 512) : capacity_(capacity) {}
+
+  static std::string MakeKey(uint64_t fingerprint, const std::string& capacity_signature,
+                             const std::string& bottleneck_signature);
+
+  std::optional<CachedPlan> Lookup(const std::string& key);
+  void Insert(const std::string& key, CachedPlan plan);
+
+  // Drops every entry (e.g. after a cluster-spec change that invalidates capacities).
+  void Clear();
+  // Drops entries whose plan was computed at an epoch < `epoch`. The capacity signature
+  // already fences correctness; this exists to shed entries that can no longer hit after
+  // permanent topology changes, and returns how many were evicted.
+  size_t EvictOlderThan(uint64_t epoch);
+
+  size_t size() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    CachedPlan plan;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  size_t capacity_;
+  std::list<std::string> lru_;  // front = most recent
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace capsys
+
+#endif  // SRC_SCHEDULER_PLAN_CACHE_H_

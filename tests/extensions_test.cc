@@ -56,6 +56,81 @@ TEST(ThresholdCacheTest, DeserializeRejectsGarbage) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(ThresholdCacheTest, RevalidateKeepsEntriesForIdenticalCapacity) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  ThresholdCache cache;
+  cache.Precompute(q.graph, q.source_rates, cluster, {{2, 5, 8, 1}});
+  ASSERT_EQ(cache.size(), 1u);
+  // An equal-shaped cluster object (e.g. after a scheduler epoch bump: reservations change
+  // slot occupancy, never capacity) must not evict anything.
+  Cluster same_shape(4, WorkerSpec::R5dXlarge(4));
+  EXPECT_TRUE(cache.Revalidate(same_shape));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup({2, 5, 8, 1}).has_value());
+}
+
+TEST(ThresholdCacheTest, RevalidateEvictsOnWorkerCountChange) {
+  QuerySpec q = BuildQ1Sliding();
+  Cluster cluster(4, WorkerSpec::R5dXlarge(4));
+  ThresholdCache cache;
+  cache.Precompute(q.graph, q.source_rates, cluster, {{2, 5, 8, 1}});
+  ASSERT_EQ(cache.size(), 1u);
+  Cluster shrunk(3, WorkerSpec::R5dXlarge(4));  // a worker died: capacity shape changed
+  EXPECT_FALSE(cache.Revalidate(shrunk));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup({2, 5, 8, 1}).has_value());
+  // The cache rebinds to the new shape: revalidating against it again is a no-op.
+  EXPECT_TRUE(cache.Revalidate(shrunk));
+}
+
+TEST(ThresholdCacheTest, RevalidateEvictsOnSpecChange) {
+  ThresholdCache cache;
+  Cluster small(2, WorkerSpec::R5dXlarge(4));
+  cache.Revalidate(small);  // bind
+  cache.Insert({1, 1}, ResourceVector{0.5, 0.5, 0.5});
+  // Same worker count and slots but a bigger instance type: alphas are capacity fractions,
+  // so they are stale.
+  Cluster bigger(2, WorkerSpec::C5d4xlarge(4));
+  EXPECT_FALSE(cache.Revalidate(bigger));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ThresholdCacheTest, PrecomputeOnChangedClusterDropsStaleEntries) {
+  QuerySpec q = BuildQ1Sliding();
+  ThresholdCache cache;
+  Cluster old_cluster(4, WorkerSpec::R5dXlarge(4));
+  cache.Precompute(q.graph, q.source_rates, old_cluster, {{2, 5, 8, 1}});
+  ASSERT_EQ(cache.size(), 1u);
+  ResourceVector old_alpha = *cache.Lookup({2, 5, 8, 1});
+  // Precompute against a differently-shaped cluster must not leave the old entry mixed in:
+  // the stale scenario is evicted and only the freshly tuned ones survive.
+  Cluster new_cluster(8, WorkerSpec::M5d2xlarge(8));
+  cache.Precompute(q.graph, q.source_rates, new_cluster, {{1, 3, 4, 1}});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Lookup({2, 5, 8, 1}).has_value());
+  EXPECT_TRUE(cache.Lookup({1, 3, 4, 1}).has_value());
+  // And re-tuning the evicted scenario on the new shape yields a fresh (generally
+  // different) alpha rather than resurrecting the stale one.
+  cache.Precompute(q.graph, q.source_rates, new_cluster, {{2, 5, 8, 1}});
+  auto fresh = cache.Lookup({2, 5, 8, 1});
+  ASSERT_TRUE(fresh.has_value());
+  (void)old_alpha;  // alphas may coincide numerically; the guarantee is re-tuning, not value
+}
+
+TEST(ThresholdCacheTest, ClearResetsEntriesAndBinding) {
+  ThresholdCache cache;
+  Cluster cluster(2, WorkerSpec::R5dXlarge(4));
+  cache.Revalidate(cluster);
+  cache.Insert({1, 1}, ResourceVector{0.5, 0.5, 0.5});
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.cluster_signature().empty());
+  // After Clear the cache is unbound: the next Revalidate binds without evicting.
+  Cluster other(5, WorkerSpec::M5d2xlarge(8));
+  EXPECT_TRUE(cache.Revalidate(other));
+}
+
 TEST(ThresholdCacheTest, ScalingScenarioEnumeration) {
   QuerySpec q = BuildQ3Inf();
   auto scenarios = EnumerateScalingScenarios(q.graph, q.source_rates,

@@ -1,0 +1,528 @@
+// Tests for the online multi-job placement service (src/scheduler): the versioned cluster
+// view's optimistic commit protocol, the plan cache keys, and the full service under
+// concurrent submitters, admission pressure, and crash storms. The concurrency tests are
+// run under ASan and TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/dataflow/physical_graph.h"
+#include "src/dataflow/rates.h"
+#include "src/nexmark/queries.h"
+#include "src/scheduler/cluster_view.h"
+#include "src/scheduler/job.h"
+#include "src/scheduler/placement_service.h"
+#include "src/scheduler/plan_cache.h"
+
+namespace capsys {
+namespace {
+
+// source -> map(p) -> sink pipeline: 2 + p tasks, all edges hash-partitioned (scalable).
+JobSpec MakePipelineJob(const std::string& name, int map_parallelism, double rate) {
+  JobSpec spec;
+  spec.name = name;
+  spec.graph = LogicalGraph(name);
+  OperatorProfile src_profile;
+  src_profile.cpu_per_record = 1e-6;
+  OperatorProfile map_profile;
+  map_profile.cpu_per_record = 5e-6;
+  map_profile.io_bytes_per_record = 50;
+  map_profile.stateful = true;
+  OperatorProfile sink_profile;
+  sink_profile.cpu_per_record = 1e-6;
+  OperatorId src = spec.graph.AddOperator("src", OperatorKind::kSource, src_profile, 1);
+  OperatorId map =
+      spec.graph.AddOperator("map", OperatorKind::kMap, map_profile, map_parallelism);
+  OperatorId sink = spec.graph.AddOperator("sink", OperatorKind::kSink, sink_profile, 1);
+  spec.graph.AddEdge(src, map, PartitionScheme::kHash);
+  spec.graph.AddEdge(map, sink, PartitionScheme::kHash);
+  spec.source_rates[src] = rate;
+  return spec;
+}
+
+SchedulerOptions FastOptions(int planner_threads = 2) {
+  SchedulerOptions options;
+  options.planner_threads = planner_threads;
+  options.search_timeout_s = 0.25;
+  options.autotune.timeout_s = 0.1;
+  options.autotune.probe_timeout_s = 0.02;
+  return options;
+}
+
+int SumReservation(const SlotReservation& r) {
+  int total = 0;
+  for (int slots : r) {
+    total += slots;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------- ClusterView protocol --
+
+TEST(ClusterViewTest, SnapshotCommitRelease) {
+  ClusterView view(Cluster(2, WorkerSpec{.slots = 4}));
+  ClusterSnapshot snap = view.Snapshot();
+  EXPECT_EQ(snap.total_free, 8);
+  EXPECT_EQ(view.TryCommit(1, snap.epoch, {3, 1}), CommitResult::kCommitted);
+  EXPECT_EQ(view.TotalFreeSlots(), 4);
+  EXPECT_EQ(SumReservation(view.ReservationOf(1)), 4);
+  EXPECT_EQ(view.CheckInvariants(), "");
+  EXPECT_TRUE(view.Release(1));
+  EXPECT_EQ(view.TotalFreeSlots(), 8);
+  EXPECT_FALSE(view.Release(1));
+  EXPECT_EQ(view.CheckInvariants(), "");
+}
+
+// The textbook optimistic protocol: conflict on any epoch advance, retry from a fresh
+// snapshot, eventual commit.
+TEST(ClusterViewTest, StrictConflictRetryCommit) {
+  ClusterView view(Cluster(2, WorkerSpec{.slots = 4}));
+  ClusterSnapshot snap_a = view.Snapshot();
+  ClusterSnapshot snap_b = view.Snapshot();
+  EXPECT_EQ(view.TryCommit(1, snap_a.epoch, {2, 0}, /*allow_stale=*/false),
+            CommitResult::kCommitted);
+  // B's snapshot epoch is stale now: strict mode refuses even though {0, 2} would fit.
+  EXPECT_EQ(view.TryCommit(2, snap_b.epoch, {0, 2}, /*allow_stale=*/false),
+            CommitResult::kConflict);
+  EXPECT_EQ(view.conflicts(), 1u);
+  // Retry from a fresh snapshot succeeds.
+  ClusterSnapshot retry = view.Snapshot();
+  EXPECT_EQ(retry.total_free, 6);
+  EXPECT_EQ(view.TryCommit(2, retry.epoch, {0, 2}, /*allow_stale=*/false),
+            CommitResult::kCommitted);
+  EXPECT_EQ(view.CheckInvariants(), "");
+}
+
+TEST(ClusterViewTest, StaleCommitRevalidates) {
+  ClusterView view(Cluster(2, WorkerSpec{.slots = 4}));
+  ClusterSnapshot snap_b = view.Snapshot();
+  ASSERT_EQ(view.TryCommit(1, snap_b.epoch, {2, 0}), CommitResult::kCommitted);
+  // Non-intersecting reservation still fits: committed as stale.
+  EXPECT_EQ(view.TryCommit(2, snap_b.epoch, {0, 3}), CommitResult::kCommittedStale);
+  EXPECT_EQ(view.stale_commits(), 1u);
+  // Overlapping reservation that no longer fits: conflict, never a double-booking.
+  EXPECT_EQ(view.TryCommit(3, snap_b.epoch, {3, 1}), CommitResult::kConflict);
+  EXPECT_EQ(view.CheckInvariants(), "");
+}
+
+TEST(ClusterViewTest, MakeBeforeBreakSwap) {
+  ClusterView view(Cluster(2, WorkerSpec{.slots = 4}));
+  ASSERT_EQ(view.TryCommit(1, view.epoch(), {4, 0}), CommitResult::kCommitted);
+  // The job's own slots count as free in its snapshot, so it can move 4 -> {2, 2}.
+  ClusterSnapshot snap = view.SnapshotFor(1);
+  EXPECT_EQ(snap.total_free, 8);
+  EXPECT_EQ(view.TryCommit(1, snap.epoch, {2, 2}), CommitResult::kCommitted);
+  EXPECT_EQ(view.TotalFreeSlots(), 4);
+  EXPECT_EQ(view.CheckInvariants(), "");
+}
+
+TEST(ClusterViewTest, WorkerDeathDropsReservationsAndReportsAffected) {
+  ClusterView view(Cluster(3, WorkerSpec{.slots = 4}));
+  ASSERT_EQ(view.TryCommit(1, view.epoch(), {2, 2, 0}), CommitResult::kCommitted);
+  ASSERT_EQ(view.TryCommit(2, view.epoch(), {0, 0, 3}), CommitResult::kCommitted);
+  std::map<JobId, int> affected = view.MarkWorkerDown(1);
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_EQ(affected[1], 2);
+  EXPECT_FALSE(view.IsWorkerUsable(1));
+  EXPECT_EQ(view.TotalSlots(), 8);
+  EXPECT_EQ(SumReservation(view.ReservationOf(1)), 2);  // survivors only
+  EXPECT_EQ(view.CheckInvariants(), "");
+  // Commits touching the dead worker conflict until it is restored.
+  EXPECT_EQ(view.TryCommit(3, view.epoch(), {0, 1, 0}), CommitResult::kConflict);
+  view.MarkWorkerUp(1);
+  EXPECT_EQ(view.TryCommit(3, view.epoch(), {0, 1, 0}), CommitResult::kCommitted);
+  EXPECT_EQ(view.CheckInvariants(), "");
+}
+
+TEST(ClusterViewTest, ConcurrentCommittersNeverDoubleBook) {
+  const int kWorkers = 4;
+  const int kSlots = 4;
+  const int kThreads = 8;
+  ClusterView view(Cluster(kWorkers, WorkerSpec{.slots = kSlots}));
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&view, &committed, t] {
+      // Each thread fights to reserve 2 slots somewhere, retrying on conflict.
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        ClusterSnapshot snap = view.Snapshot();
+        SlotReservation want(kWorkers, 0);
+        int need = 2;
+        for (int w = 0; w < kWorkers && need > 0; ++w) {
+          int take = std::min(need, snap.free_slots[static_cast<size_t>(w)]);
+          want[static_cast<size_t>(w)] = take;
+          need -= take;
+        }
+        if (need > 0) {
+          return;  // cluster full; this thread loses
+        }
+        if (view.TryCommit(t + 1, snap.epoch, want) != CommitResult::kConflict) {
+          committed.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(view.CheckInvariants(), "");
+  EXPECT_EQ(committed.load(), kWorkers * kSlots / 2);  // exactly the slots available
+  EXPECT_EQ(view.TotalFreeSlots(), 0);
+}
+
+// ---------------------------------------------------------------------- PlanCache keys --
+
+TEST(PlanCacheTest, FingerprintInvariantUnderUniformRateScaling) {
+  JobSpec a = MakePipelineJob("a", 3, 1e4);
+  JobSpec b = MakePipelineJob("b", 3, 2e4);  // same shape, double the rate
+  EXPECT_EQ(JobGraphFingerprint(a.graph, a.source_rates),
+            JobGraphFingerprint(b.graph, b.source_rates));
+  JobSpec c = MakePipelineJob("c", 4, 1e4);  // different parallelism
+  EXPECT_NE(JobGraphFingerprint(a.graph, a.source_rates),
+            JobGraphFingerprint(c.graph, c.source_rates));
+}
+
+TEST(PlanCacheTest, BottleneckSignatureScaleInvariantButShapeSensitive) {
+  Cluster cluster(2, WorkerSpec{});
+  std::vector<ResourceVector> demands = {{1.0, 2e6, 3e6}, {0.5, 1e6, 1e6}};
+  std::vector<ResourceVector> doubled = {{2.0, 4e6, 6e6}, {1.0, 2e6, 2e6}};
+  EXPECT_EQ(BottleneckSignature(demands, cluster), BottleneckSignature(doubled, cluster));
+  std::vector<ResourceVector> io_heavy = {{0.1, 200e6, 1e6}};
+  EXPECT_NE(BottleneckSignature(demands, cluster), BottleneckSignature(io_heavy, cluster));
+}
+
+TEST(PlanCacheTest, LruEvictionAndCounters) {
+  PlanCache cache(2);
+  cache.Insert("a", CachedPlan{Placement(1), {}, {}, 1});
+  cache.Insert("b", CachedPlan{Placement(2), {}, {}, 2});
+  EXPECT_TRUE(cache.Lookup("a").has_value());  // refresh a; b is now LRU
+  cache.Insert("c", CachedPlan{Placement(3), {}, {}, 3});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCacheTest, EvictOlderThanAndClear) {
+  PlanCache cache(8);
+  cache.Insert("a", CachedPlan{Placement(1), {}, {}, 1});
+  cache.Insert("b", CachedPlan{Placement(1), {}, {}, 5});
+  EXPECT_EQ(cache.EvictOlderThan(5), 1u);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("b").has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ------------------------------------------------------------------- PlacementService --
+
+TEST(PlacementServiceTest, SingleJobRunsWithValidPlacement) {
+  Cluster cluster(4, WorkerSpec{.slots = 4});
+  PlacementService service(cluster, FastOptions());
+  JobId id = service.Submit(MakePipelineJob("single", 4, 1e4));
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  JobStatus status = service.Status(id);
+  EXPECT_EQ(status.state, JobState::kRunning);
+  EXPECT_EQ(status.admission, AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(status.tasks, 6);
+  EXPECT_GE(status.decision_latency_s, 0.0);
+  // The committed placement satisfies the §4.1 constraints on the full cluster.
+  JobSpec spec = MakePipelineJob("single", 4, 1e4);
+  PhysicalGraph physical = PhysicalGraph::Expand(spec.graph);
+  EXPECT_EQ(status.placement.Validate(physical, cluster), "");
+  EXPECT_EQ(SumReservation(service.view().ReservationOf(id)), 6);
+  EXPECT_EQ(service.view().CheckInvariants(), "");
+}
+
+TEST(PlacementServiceTest, ConcurrentSubmittersLoseNoJobs) {
+  const int kThreads = 6;
+  const int kJobsPerThread = 6;
+  Cluster cluster(24, WorkerSpec{.slots = 8});
+  PlacementService service(cluster, FastOptions(4));
+  std::vector<std::vector<JobId>> ids(kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&service, &ids, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        ids[static_cast<size_t>(t)].push_back(
+            service.Submit(MakePipelineJob("job", 2, 5e3)));
+      }
+    });
+  }
+  for (auto& t : submitters) {
+    t.join();
+  }
+  ASSERT_TRUE(service.WaitIdle(60.0));
+  // No lost and no duplicated ids.
+  std::set<JobId> unique;
+  for (const auto& batch : ids) {
+    for (JobId id : batch) {
+      EXPECT_NE(id, kInvalidJobId);
+      EXPECT_TRUE(unique.insert(id).second) << "duplicate job id " << id;
+    }
+  }
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kThreads * kJobsPerThread));
+  std::vector<JobStatus> statuses = service.AllStatuses();
+  EXPECT_EQ(statuses.size(), unique.size());
+  int running = 0;
+  for (const JobStatus& s : statuses) {
+    EXPECT_TRUE(unique.count(s.id)) << "untracked job id " << s.id;
+    if (s.state == JobState::kRunning) {
+      ++running;
+    }
+  }
+  // 36 jobs x 4 tasks = 144 tasks on 192 slots: everything runs.
+  EXPECT_EQ(running, kThreads * kJobsPerThread);
+  EXPECT_EQ(service.view().CheckInvariants(), "");
+  SchedulerStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kThreads * kJobsPerThread));
+  EXPECT_EQ(stats.plans_committed, static_cast<uint64_t>(running));
+}
+
+TEST(PlacementServiceTest, StrictEpochModeStillConverges) {
+  // The textbook protocol under contention: every interleaved commit conflicts and
+  // retries. All jobs must still land, with the slot accounting intact.
+  const int kJobs = 12;
+  Cluster cluster(12, WorkerSpec{.slots = 4});
+  SchedulerOptions options = FastOptions(4);
+  options.strict_epoch_commit = true;
+  PlacementService service(cluster, options);
+  std::vector<JobId> ids;
+  ids.reserve(kJobs);
+  for (int j = 0; j < kJobs; ++j) {
+    ids.push_back(service.Submit(MakePipelineJob("strict", 2, 5e3)));
+  }
+  ASSERT_TRUE(service.WaitIdle(60.0));
+  for (JobId id : ids) {
+    EXPECT_EQ(service.Status(id).state, JobState::kRunning);
+  }
+  EXPECT_EQ(service.view().CheckInvariants(), "");
+  EXPECT_EQ(service.stats().stale_commits, 0u);  // strict mode never commits stale
+}
+
+TEST(PlacementServiceTest, AdmissionRejectsOversizedJobStructurally) {
+  Cluster cluster(2, WorkerSpec{.slots = 2});
+  PlacementService service(cluster, FastOptions());
+  // 8 tasks on a 4-slot cluster can never fit: structured rejection, no CHECK abort.
+  JobId id = service.Submit(MakePipelineJob("too-big", 6, 1e3));
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  JobStatus status = service.Status(id);
+  EXPECT_EQ(status.state, JobState::kRejected);
+  EXPECT_EQ(status.admission, AdmissionOutcome::kRejectedCapacity);
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(PlacementServiceTest, AdmissionRejectsInvalidSpec) {
+  PlacementService service(Cluster(2, WorkerSpec{.slots = 4}), FastOptions());
+  JobSpec empty;
+  empty.name = "empty";
+  JobId id = service.Submit(std::move(empty));
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  EXPECT_EQ(service.Status(id).state, JobState::kRejected);
+  EXPECT_EQ(service.Status(id).admission, AdmissionOutcome::kRejectedInvalid);
+}
+
+TEST(PlacementServiceTest, QueuedJobAdmittedWhenCapacityFrees) {
+  Cluster cluster(2, WorkerSpec{.slots = 2});
+  PlacementService service(cluster, FastOptions());
+  JobId first = service.Submit(MakePipelineJob("first", 2, 1e3));  // 4 tasks: fills it
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  ASSERT_EQ(service.Status(first).state, JobState::kRunning);
+  JobId second = service.Submit(MakePipelineJob("second", 1, 1e3));  // 3 tasks: must wait
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  EXPECT_EQ(service.Status(second).state, JobState::kQueued);
+  EXPECT_EQ(service.Status(second).admission, AdmissionOutcome::kQueuedCapacity);
+  // Cancelling the resident job frees its slots and re-admits the queued one.
+  service.Cancel(first);
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  EXPECT_EQ(service.Status(first).state, JobState::kTerminated);
+  EXPECT_EQ(service.Status(second).state, JobState::kRunning);
+  EXPECT_EQ(SumReservation(service.view().ReservationOf(first)), 0);
+  EXPECT_EQ(service.view().CheckInvariants(), "");
+  SchedulerStats stats = service.stats();
+  EXPECT_GE(stats.queued, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+}
+
+TEST(PlacementServiceTest, WorkerDeathTriggersDegradedRecovery) {
+  Cluster cluster(2, WorkerSpec{.slots = 4});
+  PlacementService service(cluster, FastOptions());
+  JobId id = service.Submit(MakePipelineJob("degrade", 5, 1e3));  // 7 tasks on 8 slots
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  ASSERT_EQ(service.Status(id).state, JobState::kRunning);
+  service.OnWorkerDead(1);
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  JobStatus status = service.Status(id);
+  ASSERT_EQ(status.state, JobState::kRunning);
+  EXPECT_TRUE(status.degraded);
+  EXPECT_LE(status.tasks, 4);  // survivors expose 4 slots
+  EXPECT_GE(status.recoveries, 1);
+  EXPECT_GE(status.est_recovery_downtime_s, 0.0);  // checkpoint-model estimate recorded
+  // Nothing may live on the dead worker.
+  SlotReservation reservation = service.view().ReservationOf(id);
+  EXPECT_EQ(reservation[1], 0);
+  EXPECT_EQ(service.view().CheckInvariants(), "");
+  SchedulerStats stats = service.stats();
+  EXPECT_GE(stats.recoveries, 1u);
+  EXPECT_GE(stats.downscales, 1u);
+}
+
+TEST(PlacementServiceTest, RecoveryQueuesWhenDegradationDisallowed) {
+  Cluster cluster(2, WorkerSpec{.slots = 4});
+  PlacementService service(cluster, FastOptions());
+  JobSpec spec = MakePipelineJob("rigid", 5, 1e3);  // 7 tasks
+  spec.allow_degraded_recovery = false;
+  JobId id = service.Submit(std::move(spec));
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  ASSERT_EQ(service.Status(id).state, JobState::kRunning);
+  service.OnWorkerDead(0);
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  // Cannot fit 7 tasks on 4 surviving slots and may not degrade: queued, not aborted.
+  EXPECT_EQ(service.Status(id).state, JobState::kQueued);
+  // The worker coming back re-admits and replans the job at full parallelism.
+  service.OnWorkerRestored(0);
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  JobStatus status = service.Status(id);
+  EXPECT_EQ(status.state, JobState::kRunning);
+  EXPECT_FALSE(status.degraded);
+  EXPECT_EQ(status.tasks, 7);
+  EXPECT_EQ(service.view().CheckInvariants(), "");
+}
+
+TEST(PlacementServiceTest, RescaleRecommitsAtNewParallelism) {
+  Cluster cluster(4, WorkerSpec{.slots = 4});
+  PlacementService service(cluster, FastOptions());
+  JobId id = service.Submit(MakePipelineJob("rescale", 2, 1e4));
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  ASSERT_EQ(service.Status(id).state, JobState::kRunning);
+  service.ApplyScaleDecision(id, {1, 6, 1});
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  JobStatus status = service.Status(id);
+  EXPECT_EQ(status.state, JobState::kRunning);
+  EXPECT_EQ(status.tasks, 8);
+  ASSERT_EQ(status.parallelism.size(), 3u);
+  EXPECT_EQ(status.parallelism[1], 6);
+  EXPECT_EQ(SumReservation(service.view().ReservationOf(id)), 8);
+  EXPECT_EQ(service.view().CheckInvariants(), "");
+}
+
+TEST(PlacementServiceTest, PlanCacheHitOnResubmitAndRateScale) {
+  Cluster cluster(4, WorkerSpec{.slots = 4});
+  PlacementService service(cluster, FastOptions());
+  JobId first = service.Submit(MakePipelineJob("cacheable", 4, 1e4));
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  ASSERT_EQ(service.Status(first).state, JobState::kRunning);
+  EXPECT_FALSE(service.Status(first).plan_from_cache);
+  service.Cancel(first);
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  // Identical job on the restored capacity: same (fingerprint, signature, bottleneck) key.
+  JobId second = service.Submit(MakePipelineJob("cacheable", 4, 1e4));
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  ASSERT_EQ(service.Status(second).state, JobState::kRunning);
+  EXPECT_TRUE(service.Status(second).plan_from_cache);
+  service.Cancel(second);
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  // Uniformly doubled rates keep the key (cost vectors are scale-invariant): still a hit.
+  JobId third = service.Submit(MakePipelineJob("cacheable", 4, 2e4));
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  ASSERT_EQ(service.Status(third).state, JobState::kRunning);
+  EXPECT_TRUE(service.Status(third).plan_from_cache);
+  SchedulerStats stats = service.stats();
+  EXPECT_GE(stats.plans_from_cache, 2u);
+  EXPECT_GE(stats.cache_hits, 2u);
+  EXPECT_EQ(service.view().CheckInvariants(), "");
+}
+
+TEST(PlacementServiceTest, NexmarkQueryThroughService) {
+  // One of the paper's evaluation queries end-to-end through the online service on the
+  // 4x4 motivation cluster.
+  Cluster cluster(4, WorkerSpec::R5dXlarge());
+  PlacementService service(cluster, FastOptions());
+  QuerySpec q1 = BuildQ1Sliding();
+  JobSpec spec;
+  spec.name = "q1-sliding";
+  spec.graph = q1.graph;
+  spec.source_rates = q1.source_rates;
+  JobId id = service.Submit(std::move(spec));
+  ASSERT_TRUE(service.WaitIdle(30.0));
+  JobStatus status = service.Status(id);
+  ASSERT_EQ(status.state, JobState::kRunning);
+  PhysicalGraph physical = PhysicalGraph::Expand(q1.graph);
+  EXPECT_EQ(status.placement.Validate(physical, cluster), "");
+  EXPECT_EQ(service.view().CheckInvariants(), "");
+}
+
+TEST(PlacementServiceTest, CrashStormInterleavedWithSubmissions) {
+  const int kThreads = 3;
+  const int kJobsPerThread = 4;
+  Cluster cluster(8, WorkerSpec{.slots = 4});
+  PlacementService service(cluster, FastOptions(4));
+  std::vector<std::vector<JobId>> ids(kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&service, &ids, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        ids[static_cast<size_t>(t)].push_back(
+            service.Submit(MakePipelineJob("storm", 2, 2e3)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      }
+    });
+  }
+  // Crash storm racing the submissions: repeatedly kill and restore two workers.
+  for (int round = 0; round < 4; ++round) {
+    service.OnWorkerDead(round % 4);
+    service.OnWorkerDead(4 + round % 4);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    service.OnWorkerRestored(round % 4);
+    service.OnWorkerRestored(4 + round % 4);
+  }
+  for (auto& t : submitters) {
+    t.join();
+  }
+  ASSERT_TRUE(service.WaitIdle(60.0));
+  EXPECT_EQ(service.view().CheckInvariants(), "");
+  // Zero lost jobs: every submission is tracked and reached a coherent state.
+  std::vector<JobStatus> statuses = service.AllStatuses();
+  EXPECT_EQ(statuses.size(), static_cast<size_t>(kThreads * kJobsPerThread));
+  // 12 jobs x 4 tasks = 48 > 32 slots: some queue, the rest must be Running with a
+  // committed reservation matching their task count, summing within worker slot limits.
+  std::vector<int> per_worker(8, 0);
+  for (const JobStatus& s : statuses) {
+    ASSERT_TRUE(s.state == JobState::kRunning || s.state == JobState::kQueued)
+        << s.ToString();
+    if (s.state == JobState::kRunning) {
+      SlotReservation r = service.view().ReservationOf(s.id);
+      EXPECT_EQ(SumReservation(r), s.tasks) << s.ToString();
+      for (size_t w = 0; w < r.size(); ++w) {
+        per_worker[w] += r[w];
+      }
+    }
+  }
+  for (size_t w = 0; w < per_worker.size(); ++w) {
+    EXPECT_LE(per_worker[w], 4) << "worker " << w << " double-booked";
+  }
+}
+
+TEST(PlacementServiceTest, StatsAndStatusRenderings) {
+  PlacementService service(Cluster(2, WorkerSpec{.slots = 4}), FastOptions());
+  JobId id = service.Submit(MakePipelineJob("render", 2, 1e3));
+  ASSERT_TRUE(service.WaitIdle(20.0));
+  EXPECT_NE(service.Status(id).ToString().find("running"), std::string::npos);
+  EXPECT_NE(service.stats().ToString().find("submitted=1"), std::string::npos);
+  EXPECT_STREQ(JobStateName(JobState::kRecovering), "recovering");
+  EXPECT_STREQ(AdmissionOutcomeName(AdmissionOutcome::kQueuedCapacity), "queued_capacity");
+  EXPECT_STREQ(CommitResultName(CommitResult::kCommittedStale), "committed_stale");
+}
+
+}  // namespace
+}  // namespace capsys

@@ -5,10 +5,13 @@ Usage: compare_bench.py BASELINE.json CURRENT.json [--tolerance FRAC]
 
 Keys encode direction: *_ns / *_ms are latencies (regression = current slower than
 baseline by more than the tolerance), *_per_s are throughputs (regression = current
-slower, i.e. lower). Keys present in only one file are reported but never fatal, so
-adding a scenario does not break the perf-smoke job on the first run.
+slower, i.e. lower). A key present only in CURRENT is reported but never fatal, so adding
+a scenario does not break the perf-smoke job on the first run. A key present only in
+BASELINE is fatal: a silently skipped measurement would otherwise read as "no regression"
+while covering nothing (e.g. a bench binary dropped from the Measure step).
 
-Exits 1 if any shared scenario regressed beyond the tolerance (default 25%).
+Exits 1 if any shared scenario regressed beyond the tolerance (default 25%) or any
+baseline scenario was not measured.
 """
 
 import argparse
@@ -36,12 +39,14 @@ def main() -> int:
         current = json.load(f)
 
     regressions = []
+    missing = []
     for key in sorted(set(baseline) | set(current)):
         if key not in baseline:
             print(f"  NEW      {key:32s} {current[key]:.6g} (no baseline)")
             continue
         if key not in current:
             print(f"  MISSING  {key:32s} baseline {baseline[key]:.6g}, not measured")
+            missing.append(key)
             continue
         base, cur = float(baseline[key]), float(current[key])
         if base <= 0:
@@ -61,9 +66,15 @@ def main() -> int:
         print(f"  {status:8s} {key:32s} baseline {base:.6g}  current {cur:.6g}  "
               f"({frac:+.1%})")
 
+    failed = False
+    if missing:
+        print(f"\n{len(missing)} baseline scenario(s) not measured: {', '.join(missing)}")
+        failed = True
     if regressions:
         print(f"\n{len(regressions)} scenario(s) regressed beyond "
               f"{args.tolerance:.0%}: {', '.join(regressions)}")
+        failed = True
+    if failed:
         return 1
     print("\nNo perf regressions beyond tolerance.")
     return 0

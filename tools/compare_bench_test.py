@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Self-test for compare_bench.py, run by ctest.
+
+Covers the key-mismatch policy in both directions:
+  - a key present only in the CURRENT file is informational (exit 0: new scenarios may
+    land before their baseline), and
+  - a key present only in the BASELINE file is fatal (exit 1: a dropped measurement must
+    not read as a pass),
+plus the basic regression/improvement/tolerance behaviour on shared keys.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+COMPARE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "compare_bench.py")
+
+
+def run_compare(baseline: dict, current: dict, *extra: str) -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        cur_path = os.path.join(tmp, "current.json")
+        with open(base_path, "w") as f:
+            json.dump(baseline, f)
+        with open(cur_path, "w") as f:
+            json.dump(current, f)
+        proc = subprocess.run(
+            [sys.executable, COMPARE, base_path, cur_path, *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        print(proc.stdout)
+        return proc.returncode
+
+
+def check(name: str, got: int, want: int) -> bool:
+    ok = got == want
+    print(f"{'PASS' if ok else 'FAIL'}: {name} (exit {got}, want {want})")
+    return ok
+
+
+def main() -> int:
+    ok = True
+    # Identical files: clean pass.
+    ok &= check("identical", run_compare({"a_ms": 1.0}, {"a_ms": 1.0}), 0)
+    # Key only in CURRENT: informational, never fatal.
+    ok &= check("new key in current",
+                run_compare({"a_ms": 1.0}, {"a_ms": 1.0, "b_per_s": 5.0}), 0)
+    # Key only in BASELINE: fatal -- a skipped measurement must not look like a pass.
+    ok &= check("baseline key not measured",
+                run_compare({"a_ms": 1.0, "b_per_s": 5.0}, {"a_ms": 1.0}), 1)
+    # Latency regression beyond tolerance fails; within tolerance passes.
+    ok &= check("latency regression", run_compare({"a_ms": 1.0}, {"a_ms": 2.0}), 1)
+    ok &= check("latency within tolerance", run_compare({"a_ms": 1.0}, {"a_ms": 1.1}), 0)
+    # Throughput direction: lower *_per_s is the regression, higher is an improvement.
+    ok &= check("throughput regression", run_compare({"t_per_s": 10.0}, {"t_per_s": 5.0}), 1)
+    ok &= check("throughput improvement", run_compare({"t_per_s": 10.0}, {"t_per_s": 20.0}), 0)
+    # Tolerance is honoured.
+    ok &= check("custom tolerance",
+                run_compare({"a_ms": 1.0}, {"a_ms": 1.4}, "--tolerance", "0.5"), 0)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
